@@ -1,0 +1,98 @@
+// Command gqbe answers query-by-example queries over a knowledge graph
+// stored as tab-separated triples.
+//
+// Usage:
+//
+//	gqbe -graph kg.tsv [-k 10] [-r 15] [-d 2] "Entity A" "Entity B"
+//	gqbe -graph kg.tsv -tuple "Jerry Yang,Yahoo!" -tuple "Steve Wozniak,Apple Inc."
+//
+// Positional arguments form a single query tuple; repeated -tuple flags
+// (comma-separated entities) form a multi-tuple query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gqbe"
+)
+
+type tupleFlags [][]string
+
+func (t *tupleFlags) String() string { return fmt.Sprint([][]string(*t)) }
+
+func (t *tupleFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	tuple := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("empty entity in tuple %q", v)
+		}
+		tuple = append(tuple, p)
+	}
+	*t = append(*t, tuple)
+	return nil
+}
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the knowledge graph (TSV triples), required")
+		k         = flag.Int("k", 10, "number of answers")
+		kPrime    = flag.Int("kprime", 0, "stage-1 candidate pool (0 = default)")
+		depth     = flag.Int("d", 2, "neighborhood path-length threshold")
+		mqgSize   = flag.Int("r", 15, "maximal query graph edge budget")
+		verbose   = flag.Bool("v", false, "print query statistics")
+		tuples    tupleFlags
+	)
+	flag.Var(&tuples, "tuple", "query tuple as comma-separated entity names (repeatable)")
+	flag.Parse()
+
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "gqbe: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		tuples = append(tuples, flag.Args())
+	}
+	if len(tuples) == 0 {
+		fmt.Fprintln(os.Stderr, "gqbe: provide a query tuple (positional entities or -tuple)")
+		os.Exit(2)
+	}
+
+	eng, err := gqbe.LoadFile(*graphPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("loaded %d entities, %d facts, %d predicates\n",
+			eng.NumEntities(), eng.NumFacts(), eng.NumPredicates())
+	}
+
+	opts := &gqbe.Options{K: *k, KPrime: *kPrime, Depth: *depth, MQGSize: *mqgSize}
+	var res *gqbe.Result
+	if len(tuples) == 1 {
+		res, err = eng.Query(tuples[0], opts)
+	} else {
+		res, err = eng.QueryMulti(tuples, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for i, a := range res.Answers {
+		fmt.Printf("%2d. ⟨%s⟩  score=%.4f\n", i+1, strings.Join(a.Entities, ", "), a.Score)
+	}
+	if len(res.Answers) == 0 {
+		fmt.Println("no answers")
+	}
+	if *verbose {
+		fmt.Printf("\nMQG edges: %d; lattice nodes evaluated: %d; discovery %v; processing %v\n",
+			res.Stats.MQGEdges, res.Stats.NodesEvaluated, res.Stats.Discovery, res.Stats.Processing)
+	}
+}

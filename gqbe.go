@@ -1,0 +1,255 @@
+// Package gqbe is a Go implementation of GQBE — Graph Query By Example
+// (Jayaram, Khan, Li, Yan, Elmasri: "Querying Knowledge Graphs by Example
+// Entity Tuples", ICDE / arXiv:1311.2100).
+//
+// GQBE answers queries over a knowledge graph from nothing but an example
+// entity tuple. Given ⟨Jerry Yang, Yahoo!⟩ over a graph of people and
+// companies, it returns ranked tuples whose entities participate in similar
+// relationships — ⟨Steve Wozniak, Apple Inc.⟩, ⟨Sergey Brin, Google⟩ — with
+// no query language, schema knowledge, or query graph required.
+//
+// Basic use:
+//
+//	eng, err := gqbe.LoadFile("kg.tsv") // tab-separated subject/predicate/object
+//	res, err := eng.Query([]string{"Jerry Yang", "Yahoo!"}, nil)
+//	for _, a := range res.Answers {
+//	    fmt.Println(a.Entities, a.Score)
+//	}
+//
+// Multiple example tuples sharpen the intent (§III-D of the paper):
+//
+//	res, err := eng.QueryMulti([][]string{
+//	    {"Jerry Yang", "Yahoo!"},
+//	    {"Steve Wozniak", "Apple Inc."},
+//	}, nil)
+//
+// The pipeline mirrors the paper: the engine derives a weighted maximal
+// query graph capturing the tuple's important relationships, models the
+// space of approximate matches as a query lattice, and explores the lattice
+// best-first, evaluating query graphs as hash joins and stopping as soon as
+// the top-k answers are provably found.
+package gqbe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"gqbe/internal/core"
+	"gqbe/internal/graph"
+	"gqbe/internal/triples"
+)
+
+// Options tunes a query. Nil or zero fields select the paper's defaults.
+type Options struct {
+	// K is the number of answers to return (default 10).
+	K int
+	// KPrime is the candidate pool ranked by structure score before the
+	// final content-aware re-ranking (default max(100, 4K); §V-B of the
+	// paper found k′≈100 best for k in 10..25).
+	KPrime int
+	// Depth is the neighborhood radius d in edges (default 2).
+	Depth int
+	// MQGSize is the maximal-query-graph edge budget r (default 15).
+	MQGSize int
+	// MaxRows bounds the intermediate join size per query graph; queries
+	// exceeding it fail rather than exhaust memory (default 5M rows).
+	MaxRows int
+	// MaxEvaluations caps evaluated lattice nodes (default unlimited).
+	MaxEvaluations int
+}
+
+func (o *Options) toCore() core.Options {
+	if o == nil {
+		return core.Options{}
+	}
+	return core.Options{
+		K:              o.K,
+		KPrime:         o.KPrime,
+		Depth:          o.Depth,
+		MQGSize:        o.MQGSize,
+		MaxRows:        o.MaxRows,
+		MaxEvaluations: o.MaxEvaluations,
+	}
+}
+
+// Answer is one ranked answer tuple.
+type Answer struct {
+	// Entities are the answer's entity names, positionally matching the
+	// query tuple.
+	Entities []string
+	// Score is the answer's similarity score (Eq. 1/5 of the paper);
+	// higher is better. Scores are comparable within one result only.
+	Score float64
+}
+
+// Stats reports how a query was executed.
+type Stats struct {
+	// Discovery is the time spent deriving the maximal query graph(s).
+	Discovery time.Duration
+	// Merge is the time spent merging MQGs (multi-tuple queries only).
+	Merge time.Duration
+	// Processing is the time spent searching the query lattice.
+	Processing time.Duration
+	// MQGEdges is the size of the derived (merged) maximal query graph.
+	MQGEdges int
+	// NodesEvaluated is the number of lattice query graphs evaluated.
+	NodesEvaluated int
+	// Terminated reports whether the top-k proof stopped the search early.
+	Terminated bool
+}
+
+// Result is a ranked answer list.
+type Result struct {
+	Answers []Answer
+	Stats   Stats
+}
+
+// Engine answers query-by-example queries over one immutable knowledge
+// graph. It is safe for concurrent use once built.
+type Engine struct {
+	eng *core.Engine
+}
+
+// Load reads a knowledge graph from tab-separated triples
+// (subject\tpredicate\tobject per line, '#' comments allowed) and
+// preprocesses it for querying.
+func Load(r io.Reader) (*Engine, error) {
+	g, err := triples.LoadGraph(r)
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return fromGraph(g)
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Engine, error) {
+	g, err := triples.LoadGraphFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return fromGraph(g)
+}
+
+// Builder assembles a knowledge graph triple by triple, for programmatic
+// construction instead of file loading.
+type Builder struct {
+	g    *graph.Graph
+	done bool
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{g: graph.New()} }
+
+// Add inserts the triple (subject, predicate, object); duplicates are
+// ignored. Add panics if called after Build.
+func (b *Builder) Add(subject, predicate, object string) *Builder {
+	if b.done {
+		panic("gqbe: Builder used after Build")
+	}
+	b.g.AddEdge(subject, predicate, object)
+	return b
+}
+
+// Build finalizes the graph and preprocesses the engine. The builder must
+// not be reused.
+func (b *Builder) Build() (*Engine, error) {
+	if b.done {
+		return nil, errors.New("gqbe: Builder already built")
+	}
+	b.done = true
+	b.g.SortAdjacency()
+	return fromGraph(b.g)
+}
+
+func fromGraph(g *graph.Graph) (*Engine, error) {
+	if g.NumEdges() == 0 {
+		return nil, errors.New("gqbe: empty knowledge graph")
+	}
+	return &Engine{eng: core.NewEngine(g)}, nil
+}
+
+// NumEntities returns the number of entity nodes in the graph.
+func (e *Engine) NumEntities() int { return e.eng.Graph().NumNodes() }
+
+// NumFacts returns the number of edges (triples) in the graph.
+func (e *Engine) NumFacts() int { return e.eng.Graph().NumEdges() }
+
+// NumPredicates returns the number of distinct edge labels.
+func (e *Engine) NumPredicates() int { return e.eng.Graph().NumLabels() }
+
+// HasEntity reports whether an entity name exists in the graph.
+func (e *Engine) HasEntity(name string) bool {
+	_, ok := e.eng.Graph().Node(name)
+	return ok
+}
+
+// Query answers a single example-tuple query: entities names the example
+// entities (1–3 is typical), and the result holds the top-k most similar
+// answer tuples, best first. The example tuple itself is never returned.
+func (e *Engine) Query(entities []string, opts *Options) (*Result, error) {
+	tuple, err := e.resolve(entities)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.eng.Query(tuple, opts.toCore())
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return e.wrap(res), nil
+}
+
+// QueryMulti answers a multi-tuple query: all example tuples (same arity)
+// are combined into one merged query intent, which usually sharpens results
+// (§III-D, Table V of the paper).
+func (e *Engine) QueryMulti(tuples [][]string, opts *Options) (*Result, error) {
+	if len(tuples) == 0 {
+		return nil, errors.New("gqbe: no query tuples")
+	}
+	resolved := make([][]graph.NodeID, len(tuples))
+	for i, t := range tuples {
+		tuple, err := e.resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = tuple
+	}
+	res, err := e.eng.QueryMulti(resolved, opts.toCore())
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return e.wrap(res), nil
+}
+
+func (e *Engine) resolve(entities []string) ([]graph.NodeID, error) {
+	if len(entities) == 0 {
+		return nil, errors.New("gqbe: empty query tuple")
+	}
+	tuple := make([]graph.NodeID, len(entities))
+	for i, name := range entities {
+		id, ok := e.eng.Graph().Node(name)
+		if !ok {
+			return nil, fmt.Errorf("gqbe: unknown entity %q", name)
+		}
+		tuple[i] = id
+	}
+	return tuple, nil
+}
+
+func (e *Engine) wrap(res *core.Result) *Result {
+	out := &Result{
+		Stats: Stats{
+			Discovery:      res.Stats.Discovery,
+			Merge:          res.Stats.Merge,
+			Processing:     res.Stats.Processing,
+			MQGEdges:       res.Stats.MQGEdges,
+			NodesEvaluated: res.Stats.NodesEvaluated,
+			Terminated:     res.Stats.Terminated,
+		},
+	}
+	for _, a := range res.Answers {
+		out.Answers = append(out.Answers, Answer{Entities: e.eng.AnswerNames(a), Score: a.Score})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package gqbe
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gqbe/internal/testkg"
+)
+
+func fig1Engine(t *testing.T) *Engine {
+	t.Helper()
+	b := NewBuilder()
+	for _, tr := range testkg.Fig1Triples() {
+		b.Add(tr[0], tr[1], tr[2])
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return e
+}
+
+func TestBuilderAndCounts(t *testing.T) {
+	e := fig1Engine(t)
+	if e.NumEntities() == 0 || e.NumFacts() != 28 || e.NumPredicates() == 0 {
+		t.Errorf("counts wrong: %d entities, %d facts, %d predicates",
+			e.NumEntities(), e.NumFacts(), e.NumPredicates())
+	}
+	if !e.HasEntity("Jerry Yang") || e.HasEntity("Nobody") {
+		t.Error("HasEntity wrong")
+	}
+}
+
+func TestLoadFromReader(t *testing.T) {
+	var b strings.Builder
+	for _, tr := range testkg.Fig1Triples() {
+		fmt.Fprintf(&b, "%s\t%s\t%s\n", tr[0], tr[1], tr[2])
+	}
+	e, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if e.NumFacts() != 28 {
+		t.Errorf("NumFacts = %d", e.NumFacts())
+	}
+}
+
+func TestLoadEmptyGraphFails(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestQueryPublicAPI(t *testing.T) {
+	e := fig1Engine(t)
+	res, err := e.Query([]string{"Jerry Yang", "Yahoo!"}, &Options{K: 10, KPrime: 10, MQGSize: 10})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	found := false
+	for _, a := range res.Answers {
+		if strings.Join(a.Entities, "|") == "Steve Wozniak|Apple Inc." {
+			found = true
+		}
+		if strings.Join(a.Entities, "|") == "Jerry Yang|Yahoo!" {
+			t.Error("query tuple returned")
+		}
+	}
+	if !found {
+		t.Error("Wozniak/Apple missing")
+	}
+	if res.Stats.MQGEdges == 0 || res.Stats.NodesEvaluated == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+}
+
+func TestQueryNilOptionsDefaults(t *testing.T) {
+	e := fig1Engine(t)
+	res, err := e.Query([]string{"Jerry Yang", "Yahoo!"}, nil)
+	if err != nil {
+		t.Fatalf("Query with nil options: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Error("no answers with defaults")
+	}
+}
+
+func TestQueryMultiPublicAPI(t *testing.T) {
+	e := fig1Engine(t)
+	res, err := e.QueryMulti([][]string{
+		{"Jerry Yang", "Yahoo!"},
+		{"Steve Wozniak", "Apple Inc."},
+	}, &Options{K: 10, KPrime: 10, MQGSize: 12})
+	if err != nil {
+		t.Fatalf("QueryMulti: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range res.Answers {
+		s := strings.Join(a.Entities, "|")
+		if s == "Jerry Yang|Yahoo!" || s == "Steve Wozniak|Apple Inc." {
+			t.Errorf("input tuple %s returned", s)
+		}
+	}
+}
+
+func TestQueryErrorsPublic(t *testing.T) {
+	e := fig1Engine(t)
+	if _, err := e.Query(nil, nil); err == nil {
+		t.Error("empty tuple accepted")
+	}
+	if _, err := e.Query([]string{"No Such Entity"}, nil); err == nil {
+		t.Error("unknown entity accepted")
+	}
+	if _, err := e.QueryMulti(nil, nil); err == nil {
+		t.Error("no tuples accepted")
+	}
+	if _, err := e.QueryMulti([][]string{{"Jerry Yang", "Yahoo!"}, {"Missing"}}, nil); err == nil {
+		t.Error("unknown entity in multi accepted")
+	}
+}
+
+func TestBuilderMisuse(t *testing.T) {
+	b := NewBuilder()
+	b.Add("a", "p", "b")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("double Build accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Build did not panic")
+		}
+	}()
+	b.Add("x", "p", "y")
+}
+
+func TestScoresDescending(t *testing.T) {
+	e := fig1Engine(t)
+	res, err := e.Query([]string{"Jerry Yang", "Yahoo!"}, &Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Answers); i++ {
+		if res.Answers[i-1].Score < res.Answers[i].Score {
+			t.Fatal("answers not sorted by score")
+		}
+	}
+}

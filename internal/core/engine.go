@@ -1,0 +1,208 @@
+// Package core assembles the full GQBE pipeline of Fig. 3 into one engine:
+// offline preprocessing (vertical-partition store, edge statistics), query
+// graph discovery (neighborhood extraction, reduction, MQG discovery and
+// multi-tuple merging), and query processing (lattice construction and
+// best-first top-k search). This is the engine the public gqbe package and
+// the experiment harness drive.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/lattice"
+	"gqbe/internal/mqg"
+	"gqbe/internal/neighborhood"
+	"gqbe/internal/stats"
+	"gqbe/internal/storage"
+	"gqbe/internal/topk"
+)
+
+// Options tunes one query. The zero value uses the paper's settings.
+type Options struct {
+	// K is the number of answer tuples to return (default 10).
+	K int
+	// KPrime is the stage-1 pool size (default max(100, 4K); §V-B).
+	KPrime int
+	// Depth is the neighborhood path-length threshold d (default 2).
+	Depth int
+	// MQGSize is the MQG edge budget r (default 15, §III-A).
+	MQGSize int
+	// MaxRows bounds materialized rows per lattice node.
+	MaxRows int
+	// MaxEvaluations caps evaluated lattice nodes (0 = unlimited).
+	MaxEvaluations int
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.MQGSize <= 0 {
+		o.MQGSize = 15
+	}
+}
+
+// Stats reports where one query spent its time and work, matching the
+// quantities §VI breaks out (Table VI, Figs. 14–16).
+type Stats struct {
+	// Discovery is the time to build the MQG (neighborhood extraction,
+	// reduction, Alg. 1). For multi-tuple queries it is the sum over the
+	// individual MQGs.
+	Discovery time.Duration
+	// Merge is the time spent merging MQGs (multi-tuple queries only).
+	Merge time.Duration
+	// Processing is the lattice search time.
+	Processing time.Duration
+	// MQGEdges is the edge cardinality of the (merged) MQG.
+	MQGEdges int
+	// NodesEvaluated / NullNodes / Terminated mirror topk.Result.
+	NodesEvaluated int
+	NullNodes      int
+	Terminated     bool
+}
+
+// Result is a ranked answer list plus its query statistics.
+type Result struct {
+	Answers []topk.Answer
+	MQG     *mqg.MQG
+	Stats   Stats
+}
+
+// Engine holds the immutable per-graph state. Building it performs the
+// paper's offline steps (hashing the whole graph in memory, precomputing
+// label statistics); afterwards it is safe for concurrent queries.
+type Engine struct {
+	g     *graph.Graph
+	store *storage.Store
+	stats *stats.Stats
+}
+
+// NewEngine preprocesses g.
+func NewEngine(g *graph.Graph) *Engine {
+	store := storage.Build(g)
+	return &Engine{g: g, store: store, stats: stats.New(store)}
+}
+
+// Graph returns the underlying data graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Store returns the vertical-partition store (for baselines and benches).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// DiscoverMQG runs query graph discovery for one tuple: neighborhood
+// extraction, reduction, and Alg. 1.
+func (e *Engine) DiscoverMQG(tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
+	opts.fill()
+	nres, err := neighborhood.Extract(e.g, tuple, opts.Depth)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mqg.Discover(e.stats, nres.Reduced, tuple, opts.MQGSize)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Lattice builds the query lattice for a discovered MQG.
+func (e *Engine) Lattice(m *mqg.MQG) (*lattice.Lattice, error) {
+	return lattice.New(m)
+}
+
+// Query answers a single-tuple query end to end.
+func (e *Engine) Query(tuple []graph.NodeID, opts Options) (*Result, error) {
+	opts.fill()
+	start := time.Now()
+	m, err := e.DiscoverMQG(tuple, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: query graph discovery: %w", err)
+	}
+	discovery := time.Since(start)
+	res, err := e.searchMQG(m, [][]graph.NodeID{tuple}, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Discovery = discovery
+	return res, nil
+}
+
+// QueryMulti answers a multi-tuple query (§III-D): individual MQGs are
+// discovered per tuple, merged and re-weighted, and the merged MQG is
+// processed like a single-tuple query.
+func (e *Engine) QueryMulti(tuples [][]graph.NodeID, opts Options) (*Result, error) {
+	opts.fill()
+	if len(tuples) == 0 {
+		return nil, errors.New("core: no query tuples")
+	}
+	if len(tuples) == 1 {
+		return e.Query(tuples[0], opts)
+	}
+	var discovery time.Duration
+	mqgs := make([]*mqg.MQG, 0, len(tuples))
+	for _, t := range tuples {
+		start := time.Now()
+		m, err := e.DiscoverMQG(t, opts)
+		discovery += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("core: query graph discovery: %w", err)
+		}
+		mqgs = append(mqgs, m)
+	}
+	start := time.Now()
+	merged, err := mqg.Merge(mqgs, opts.MQGSize)
+	mergeTime := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("core: merging MQGs: %w", err)
+	}
+	res, err := e.searchMQG(merged, tuples, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Discovery = discovery
+	res.Stats.Merge = mergeTime
+	return res, nil
+}
+
+// searchMQG builds the lattice and runs the best-first search.
+func (e *Engine) searchMQG(m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	lat, err := lattice.New(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: building query lattice: %w", err)
+	}
+	start := time.Now()
+	tres, err := topk.Search(e.store, lat, exclude, topk.Options{
+		K:              opts.K,
+		KPrime:         opts.KPrime,
+		MaxRows:        opts.MaxRows,
+		MaxEvaluations: opts.MaxEvaluations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: lattice search: %w", err)
+	}
+	return &Result{
+		Answers: tres.Answers,
+		MQG:     m,
+		Stats: Stats{
+			Processing:     time.Since(start),
+			MQGEdges:       len(m.Sub.Edges),
+			NodesEvaluated: tres.NodesEvaluated,
+			NullNodes:      tres.NullNodes,
+			Terminated:     tres.Terminated,
+		},
+	}, nil
+}
+
+// AnswerNames renders an answer tuple as entity names.
+func (e *Engine) AnswerNames(a topk.Answer) []string {
+	out := make([]string, len(a.Tuple))
+	for i, v := range a.Tuple {
+		out[i] = e.g.Name(v)
+	}
+	return out
+}

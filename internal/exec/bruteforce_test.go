@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/lattice"
+	"gqbe/internal/mqg"
+	"gqbe/internal/storage"
+)
+
+// bruteForceMatch enumerates every injective assignment of data nodes to the
+// query graph's nodes and checks Def. 3 directly — the independent oracle
+// the hash-join evaluator is validated against.
+func bruteForceMatch(g *graph.Graph, q *graph.SubGraph) []map[graph.NodeID]graph.NodeID {
+	qNodes := q.Nodes()
+	var results []map[graph.NodeID]graph.NodeID
+	assignment := make(map[graph.NodeID]graph.NodeID, len(qNodes))
+	used := make(map[graph.NodeID]bool)
+	var rec func(idx int)
+	rec = func(idx int) {
+		if idx == len(qNodes) {
+			for _, e := range q.Edges {
+				if !g.HasEdge(graph.Edge{Src: assignment[e.Src], Label: e.Label, Dst: assignment[e.Dst]}) {
+					return
+				}
+			}
+			cp := make(map[graph.NodeID]graph.NodeID, len(assignment))
+			for k, v := range assignment {
+				cp[k] = v
+			}
+			results = append(results, cp)
+			return
+		}
+		for c := graph.NodeID(0); int(c) < g.NumNodes(); c++ {
+			if used[c] {
+				continue
+			}
+			assignment[qNodes[idx]] = c
+			used[c] = true
+			rec(idx + 1)
+			delete(assignment, qNodes[idx])
+			delete(used, c)
+		}
+	}
+	rec(0)
+	return results
+}
+
+// randomCase builds a small random data graph and a small random connected
+// query graph whose nodes exist in the data graph.
+func randomCase(r *rand.Rand) (*graph.Graph, *mqg.MQG) {
+	g := graph.New()
+	n := 4 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('A' + i)))
+	}
+	labels := []graph.LabelID{g.AddLabel("p"), g.AddLabel("q"), g.AddLabel("r")}
+	m := 5 + r.Intn(12)
+	for i := 0; i < m; i++ {
+		g.AddEdgeIDs(graph.NodeID(r.Intn(n)), labels[r.Intn(len(labels))], graph.NodeID(r.Intn(n)))
+	}
+	// Query graph: a random connected 2–3 edge subgraph anchored on existing
+	// labels (it need not be a subgraph of g — zero matches are fine).
+	var qe []graph.Edge
+	a, b, c := graph.NodeID(0), graph.NodeID(1), graph.NodeID(2)
+	qe = append(qe, graph.Edge{Src: a, Label: labels[r.Intn(3)], Dst: b})
+	qe = append(qe, graph.Edge{Src: b, Label: labels[r.Intn(3)], Dst: c})
+	if r.Intn(2) == 0 {
+		qe = append(qe, graph.Edge{Src: a, Label: labels[r.Intn(3)], Dst: c})
+	}
+	sub := graph.NewSubGraph(qe)
+	ws := make([]float64, len(sub.Edges))
+	ds := make([]int, len(sub.Edges))
+	for i := range ws {
+		ws[i], ds[i] = 1, 1
+	}
+	return g, &mqg.MQG{Sub: sub, Weights: ws, Depths: ds, Tuple: []graph.NodeID{a, b}}
+}
+
+// rowKey canonicalizes an evaluator row for set comparison with the oracle.
+func rowKey(ev *Evaluator, row Row) string {
+	parts := make([]string, 0, len(row))
+	for slot, v := range row {
+		if v == Unbound {
+			continue
+		}
+		parts = append(parts, string(rune('0'+int(ev.NodeAt(slot))))+"="+string(rune('0'+int(v))))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Property: the hash-join evaluator finds exactly the matches a brute-force
+// Def. 3 matcher finds, on random graphs and query graphs.
+func TestQuickEvaluatorMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, m := randomCase(r)
+		lat, err := lattice.New(m)
+		if err != nil {
+			return true // query graph can't connect the entities: skip
+		}
+		ev := New(storage.Build(g), lat)
+		rows, err := ev.Evaluate(lat.Full())
+		if err != nil {
+			return false
+		}
+		want := bruteForceMatch(g, m.Sub)
+		if len(rows) != len(want) {
+			return false
+		}
+		got := make(map[string]bool, len(rows))
+		for _, row := range rows {
+			got[rowKey(ev, row)] = true
+		}
+		for _, assignment := range want {
+			parts := make([]string, 0, len(assignment))
+			for k, v := range assignment {
+				parts = append(parts, string(rune('0'+int(k)))+"="+string(rune('0'+int(v))))
+			}
+			sort.Strings(parts)
+			if !got[strings.Join(parts, ",")] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluating via an arbitrary child chain gives the same result
+// set as evaluating from scratch, for every valid lattice node.
+func TestQuickIncrementalEqualsScratchEverywhere(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, m := randomCase(r)
+		lat, err := lattice.New(m)
+		if err != nil {
+			return true
+		}
+		store := storage.Build(g)
+		// Incremental: evaluate bottom-up so children are always available.
+		evInc := New(store, lat)
+		order := make([]lattice.EdgeSet, 0)
+		for q := lattice.EdgeSet(1); q <= lat.Full(); q++ {
+			if lat.IsValid(q) {
+				order = append(order, q)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].Count() < order[j].Count() })
+		for _, q := range order {
+			if _, err := evInc.Evaluate(q); err != nil {
+				return false
+			}
+		}
+		for _, q := range order {
+			evScr := New(store, lat)
+			scr, err := evScr.Evaluate(q)
+			if err != nil {
+				return false
+			}
+			inc, _ := evInc.Rows(q)
+			if len(inc) != len(scr) {
+				return false
+			}
+			set := make(map[string]bool, len(inc))
+			for _, row := range inc {
+				set[rowKey(evInc, row)] = true
+			}
+			for _, row := range scr {
+				if !set[rowKey(evScr, row)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// ---------------------------------------------------------------- Fig. 14
+
+// Fig14Row is one query's processing-time comparison.
+type Fig14Row struct {
+	ID       string
+	MQGEdges int
+	GQBE     time.Duration
+	NESS     time.Duration
+	Baseline time.Duration
+	// BaselineTruncated reports the Baseline hit its evaluation cap (its
+	// time is then a lower bound).
+	BaselineTruncated bool
+}
+
+// Fig14Result compares query processing time across methods on the
+// Freebase queries (paper Fig. 14; MQG edge counts annotated as there).
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 measures query processing time (the lattice-search / matching
+// phase; MQG discovery is shared by all methods and reported in Table VI).
+func (s *Suite) Fig14() *Fig14Result {
+	res := &Fig14Result{}
+	for _, id := range s.fbIDs() {
+		row := Fig14Row{ID: id}
+		if g := s.runGQBE(id, 1); g.Err == nil {
+			row.GQBE = g.Stats.Processing
+			row.MQGEdges = g.Stats.MQGEdges
+		}
+		if n := s.runNESS(id); n.Err == nil {
+			row.NESS = n.Elapsed
+		}
+		if b := s.runBaseline(id); b.Err == nil {
+			row.Baseline = b.Elapsed
+			row.BaselineTruncated = b.Truncated
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the time comparison.
+func (r *Fig14Result) Render() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 14: query processing time (ms)")
+	fmt.Fprintln(w, "Query\t#edges in MQG\tGQBE\tNESS\tBaseline")
+	for _, row := range r.Rows {
+		base := fmt.Sprintf("%.1f", ms(row.Baseline))
+		if row.BaselineTruncated {
+			base = ">" + base
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%s\n", row.ID, row.MQGEdges, ms(row.GQBE), ms(row.NESS), base)
+	}
+	w.Flush()
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+// ---------------------------------------------------------------- Fig. 15
+
+// Fig15Row is one query's lattice-evaluation comparison.
+type Fig15Row struct {
+	ID                string
+	MQGEdges          int
+	GQBE              int
+	Baseline          int
+	BaselineTruncated bool
+}
+
+// Fig15Result compares the number of lattice nodes evaluated by GQBE's
+// best-first search and the breadth-first Baseline (paper Fig. 15).
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 counts evaluated lattice nodes per method.
+func (s *Suite) Fig15() *Fig15Result {
+	res := &Fig15Result{}
+	for _, id := range s.fbIDs() {
+		row := Fig15Row{ID: id}
+		if g := s.runGQBE(id, 1); g.Err == nil {
+			row.GQBE = g.Stats.NodesEvaluated
+			row.MQGEdges = g.Stats.MQGEdges
+		}
+		if b := s.runBaseline(id); b.Err == nil {
+			row.Baseline = b.NodesEvaluated
+			row.BaselineTruncated = b.Truncated
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the node-count comparison.
+func (r *Fig15Result) Render() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 15: number of lattice nodes evaluated")
+	fmt.Fprintln(w, "Query\t#edges in MQG\tGQBE\tBaseline")
+	for _, row := range r.Rows {
+		base := fmt.Sprintf("%d", row.Baseline)
+		if row.BaselineTruncated {
+			base = ">" + base
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", row.ID, row.MQGEdges, row.GQBE, base)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 16
+
+// Fig16Row compares merged-MQG processing against evaluating the two
+// tuples' MQGs separately.
+type Fig16Row struct {
+	ID         string
+	Combined12 time.Duration
+	Separate   time.Duration // Tuple1 + Tuple2 processing time
+}
+
+// Fig16Result is the 2-tuple query time distribution (paper Fig. 16).
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 measures 2-tuple query processing time: the merged MQG
+// (Combined(1,2)) against the sum of the two individual evaluations.
+func (s *Suite) Fig16() *Fig16Result {
+	res := &Fig16Result{}
+	for _, id := range tableVQueries {
+		row := Fig16Row{ID: id}
+		if c := s.runGQBE(id, 2); c.Err == nil {
+			row.Combined12 = c.Stats.Processing
+		}
+		t1 := s.runGQBEWithTupleIndex(id, 0)
+		t2 := s.runGQBEWithTupleIndex(id, 1)
+		if t1.Err == nil && t2.Err == nil {
+			row.Separate = t1.Stats.Processing + t2.Stats.Processing
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the 2-tuple timing comparison.
+func (r *Fig16Result) Render() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 16: query processing time of 2-tuple queries (ms)")
+	fmt.Fprintln(w, "Query\tCombined(1,2)\tTuple1+Tuple2")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\n", row.ID, ms(row.Combined12), ms(row.Separate))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table VI
+
+// TableVIRow is one query's MQG discovery/merge timing.
+type TableVIRow struct {
+	ID    string
+	MQG1  time.Duration
+	MQG2  time.Duration
+	Merge time.Duration
+}
+
+// TableVIResult is the discovery/merge time table (paper Table VI).
+type TableVIResult struct {
+	Rows []TableVIRow
+}
+
+// TableVI measures per-tuple MQG discovery time and the merge time for
+// 2-tuple queries, across all Freebase queries as in the paper.
+func (s *Suite) TableVI() *TableVIResult {
+	res := &TableVIResult{}
+	for _, id := range s.fbIDs() {
+		row := TableVIRow{ID: id}
+		if t1 := s.runGQBEWithTupleIndex(id, 0); t1.Err == nil {
+			row.MQG1 = t1.Stats.Discovery
+		}
+		if t2 := s.runGQBEWithTupleIndex(id, 1); t2.Err == nil {
+			row.MQG2 = t2.Stats.Discovery
+		}
+		if c := s.runGQBE(id, 2); c.Err == nil {
+			row.Merge = c.Stats.Merge
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the discovery/merge table.
+func (r *TableVIResult) Render() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table VI: time for discovering and merging MQGs (ms)")
+	fmt.Fprintln(w, "Query\tMQG1\tMQG2\tMerge")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", row.ID, ms(row.MQG1), ms(row.MQG2), ms(row.Merge))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RenderAll runs every experiment and concatenates the rendered tables in
+// paper order.
+func (s *Suite) RenderAll() string {
+	var b strings.Builder
+	b.WriteString(s.TableI().Render())
+	b.WriteString("\n")
+	b.WriteString(s.TableII().Render())
+	b.WriteString("\n")
+	b.WriteString(s.Fig13().Render())
+	b.WriteString("\n")
+	b.WriteString(s.TableIII().Render())
+	b.WriteString("\n")
+	b.WriteString(s.TableIV().Render())
+	b.WriteString("\n")
+	b.WriteString(s.TableV().Render())
+	b.WriteString("\n")
+	b.WriteString(s.Fig14().Render())
+	b.WriteString("\n")
+	b.WriteString(s.Fig15().Render())
+	b.WriteString("\n")
+	b.WriteString(s.Fig16().Render())
+	b.WriteString("\n")
+	b.WriteString(s.TableVI().Render())
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gqbe/internal/kgsynth"
+)
+
+// testSuite builds a small, fast suite shared by the tests in this file.
+var sharedSuite *Suite
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	if sharedSuite == nil {
+		// Full benchmark scale with the paper's parameters: the suite runs
+		// in seconds, and the smaller scales distort accuracy (tables of 3
+		// rows) and disable Theorem-4 termination (fewer than k' tuples).
+		sharedSuite = NewSuite(kgsynth.Config{Seed: 17, Scale: 1.0}, Params{})
+	}
+	return sharedSuite
+}
+
+func TestTableI(t *testing.T) {
+	s := suite(t)
+	r := s.TableI()
+	if len(r.Freebase) != 20 || len(r.DBpedia) != 8 {
+		t.Fatalf("got %d F and %d D rows", len(r.Freebase), len(r.DBpedia))
+	}
+	for _, row := range append(r.Freebase, r.DBpedia...) {
+		if row.Size < 2 {
+			t.Errorf("%s: table size %d", row.ID, row.Size)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "F18") || !strings.Contains(out, "D8") {
+		t.Error("render missing query IDs")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	s := suite(t)
+	r := s.TableII()
+	if len(r.Entries) != 3 {
+		t.Fatalf("%d entries", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if len(e.Answers) == 0 {
+			t.Errorf("%s: no answers", e.ID)
+		}
+	}
+	if !strings.Contains(r.Render(), "Top-3") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig13GQBEBeatsNESS(t *testing.T) {
+	s := suite(t)
+	r := s.Fig13()
+	if len(r.PAtK) != 4 {
+		t.Fatalf("%d P@k points", len(r.PAtK))
+	}
+	// The headline result: GQBE is roughly twice as accurate as NESS. On
+	// the synthetic data we require a clear win on every k for P@k and nDCG.
+	for _, p := range r.PAtK {
+		if p.GQBE <= p.NESS {
+			t.Errorf("P@%d: GQBE %.3f <= NESS %.3f", p.K, p.GQBE, p.NESS)
+		}
+		if p.GQBE < 0.4 {
+			t.Errorf("P@%d: GQBE %.3f too low", p.K, p.GQBE)
+		}
+	}
+	for _, p := range r.NDCG {
+		if p.GQBE <= p.NESS {
+			t.Errorf("nDCG@%d: GQBE %.3f <= NESS %.3f", p.K, p.GQBE, p.NESS)
+		}
+	}
+	for _, p := range r.MAP {
+		if p.GQBE < p.NESS {
+			t.Errorf("MAP@%d: GQBE %.3f < NESS %.3f", p.K, p.GQBE, p.NESS)
+		}
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	s := suite(t)
+	r := s.TableIII()
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	high := 0
+	for _, row := range r.Rows {
+		if row.PAtK >= 0.8 {
+			high++
+		}
+	}
+	// The paper reports high accuracy on all D queries (several perfect).
+	if high < 5 {
+		t.Errorf("only %d/8 DBpedia queries reached P@10 ≥ 0.8: %+v", high, r.Rows)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	s := suite(t)
+	r := s.TableIV()
+	if len(r.Rows) != 20 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	positive, defined := 0, 0
+	for _, row := range r.Rows {
+		if row.Defined {
+			defined++
+			if row.PCC > 0.1 {
+				positive++
+			}
+		}
+	}
+	if defined < 10 {
+		t.Errorf("only %d/20 queries have defined PCC", defined)
+	}
+	// The paper found positive correlation on 17 of 20; require a majority
+	// of the defined ones here.
+	if positive*2 < defined {
+		t.Errorf("only %d/%d defined PCCs are positive", positive, defined)
+	}
+}
+
+func TestTableV(t *testing.T) {
+	s := suite(t)
+	r := s.TableV()
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Multi-tuple queries should usually help: count queries where
+	// Combined(1,2) P@k is at least Tuple1's.
+	atLeast := 0
+	for _, row := range r.Rows {
+		if !row.Tuple1.OK || !row.Combined12.OK {
+			t.Errorf("%s: missing cells", row.ID)
+			continue
+		}
+		if row.Combined12.PAtK >= row.Tuple1.PAtK {
+			atLeast++
+		}
+	}
+	if atLeast < 4 {
+		t.Errorf("Combined(1,2) matched or beat Tuple1 on only %d/7 queries", atLeast)
+	}
+}
+
+func TestFig14And15(t *testing.T) {
+	s := suite(t)
+	f14 := s.Fig14()
+	f15 := s.Fig15()
+	if len(f14.Rows) != 20 || len(f15.Rows) != 20 {
+		t.Fatalf("row counts: %d, %d", len(f14.Rows), len(f15.Rows))
+	}
+	gqbeWins := 0
+	for _, row := range f15.Rows {
+		if row.GQBE == 0 {
+			t.Errorf("%s: GQBE evaluated 0 nodes", row.ID)
+		}
+		if row.GQBE <= row.Baseline {
+			gqbeWins++
+		}
+	}
+	// Fig. 15's shape: GQBE evaluates no more nodes than Baseline on the
+	// clear majority of queries.
+	if gqbeWins < 14 {
+		t.Errorf("GQBE evaluated fewer/equal nodes on only %d/20 queries", gqbeWins)
+	}
+	for _, row := range f14.Rows {
+		if row.MQGEdges == 0 {
+			t.Errorf("%s: MQG edges missing", row.ID)
+		}
+	}
+	if !strings.Contains(f14.Render(), "Baseline") || !strings.Contains(f15.Render(), "GQBE") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig16AndTableVI(t *testing.T) {
+	s := suite(t)
+	f16 := s.Fig16()
+	if len(f16.Rows) != 7 {
+		t.Fatalf("%d rows", len(f16.Rows))
+	}
+	for _, row := range f16.Rows {
+		if row.Combined12 <= 0 || row.Separate <= 0 {
+			t.Errorf("%s: missing timings %+v", row.ID, row)
+		}
+	}
+	t6 := s.TableVI()
+	if len(t6.Rows) != 20 {
+		t.Fatalf("%d rows", len(t6.Rows))
+	}
+	for _, row := range t6.Rows {
+		if row.MQG1 <= 0 || row.MQG2 <= 0 {
+			t.Errorf("%s: missing discovery times", row.ID)
+		}
+		// The paper reports merge time as negligible versus discovery; at
+		// our (much smaller) scale discovery itself is microseconds, so
+		// only assert the merge stays small in absolute terms.
+		if row.Merge > 100*time.Millisecond {
+			t.Errorf("%s: merge took %v", row.ID, row.Merge)
+		}
+	}
+}
+
+func TestRenderAllProducesEverySection(t *testing.T) {
+	s := suite(t)
+	out := s.RenderAll()
+	for _, want := range []string{
+		"Table I:", "Table II:", "Fig. 13:", "Table III:", "Table IV:",
+		"Table V:", "Fig. 14:", "Fig. 15:", "Fig. 16:", "Table VI:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing section %q", want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/testkg"
+)
+
+func TestJudgeSimilaritySelfIsMaximal(t *testing.T) {
+	g := testkg.Fig1()
+	q := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
+	self := judgeSimilarity(g, q, q)
+	if self < 0.999 || self > 1.001 {
+		t.Errorf("self similarity = %v, want 1", self)
+	}
+}
+
+func TestJudgeSimilarityOrdersAnswersSensibly(t *testing.T) {
+	g := testkg.Fig1()
+	q := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
+	// Wozniak/Apple shares the founded/places_lived/nationality/hq kinds;
+	// a city pair shares nothing relevant.
+	woz := testkg.Tuple(g, "Steve Wozniak", "Apple Inc.")
+	cities := testkg.Tuple(g, "Sunnyvale", "Cupertino")
+	sWoz := judgeSimilarity(g, q, woz)
+	sCities := judgeSimilarity(g, q, cities)
+	if !(sWoz > sCities) {
+		t.Errorf("judge prefers cities (%v) over founder pair (%v)", sCities, sWoz)
+	}
+	if sWoz <= 0 || sWoz >= 1 {
+		t.Errorf("founder pair similarity out of open range: %v", sWoz)
+	}
+}
+
+func TestJudgeSimilarityDegenerateInputs(t *testing.T) {
+	g := testkg.Fig1()
+	q := testkg.Tuple(g, "Jerry Yang")
+	if judgeSimilarity(g, q, nil) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if judgeSimilarity(g, nil, nil) != 0 {
+		t.Error("empty tuples should be 0")
+	}
+}
+
+func TestJudgeSimilarityIdenticalNeighborsBeatKindsOnly(t *testing.T) {
+	g := graph.New()
+	// Query person q lives in Metropolis and works at Acme.
+	g.AddEdge("q", "lives", "Metropolis")
+	g.AddEdge("q", "works", "Acme")
+	// a shares the exact neighbors; b shares only the kinds of facts.
+	g.AddEdge("a", "lives", "Metropolis")
+	g.AddEdge("a", "works", "Acme")
+	g.AddEdge("b", "lives", "Smallville")
+	g.AddEdge("b", "works", "Initech")
+	q := []graph.NodeID{g.MustNode("q")}
+	sa := judgeSimilarity(g, q, []graph.NodeID{g.MustNode("a")})
+	sb := judgeSimilarity(g, q, []graph.NodeID{g.MustNode("b")})
+	if !(sa > sb && sb > 0) {
+		t.Errorf("want identical-neighbor answer (%v) above kinds-only (%v) above 0", sa, sb)
+	}
+}

@@ -1,0 +1,206 @@
+// Package graph provides the directed, edge-labeled multigraph substrate that
+// GQBE runs on, along with the small-graph utilities (subgraphs, undirected
+// traversals, weakly connected components) the query pipeline is built from.
+//
+// A Graph is the large, immutable-after-load data graph: nodes are entities
+// identified by dense int32 IDs, edge labels are interned to dense IDs, and
+// adjacency is stored in both directions so undirected traversals are cheap.
+// A SubGraph is a small edge list referencing data-graph node IDs; the
+// neighborhood graph, maximal query graph, and every query graph in the
+// lattice are SubGraphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies an entity node in a Graph. IDs are dense, starting at 0.
+type NodeID int32
+
+// LabelID identifies an interned edge label. IDs are dense, starting at 0.
+type LabelID int32
+
+// Edge is a directed labeled edge between two data-graph nodes. Edge identity
+// is the full triple: two edges are the same edge iff Src, Label and Dst all
+// match. Parallel edges with the same label are deduplicated on insert.
+type Edge struct {
+	Src   NodeID
+	Label LabelID
+	Dst   NodeID
+}
+
+// Arc is one adjacency entry: the label of an incident edge and the node at
+// its far end. Out-arcs store the destination, in-arcs store the source.
+type Arc struct {
+	Label LabelID
+	Node  NodeID
+}
+
+// Graph is a directed labeled multigraph with interned node names and edge
+// labels. It is not safe for concurrent mutation; once loaded it is safe for
+// concurrent reads.
+type Graph struct {
+	names       []string
+	byName      map[string]NodeID
+	labels      []string
+	labelByName map[string]LabelID
+
+	out [][]Arc
+	in  [][]Arc
+
+	numEdges int
+	edges    map[Edge]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byName:      make(map[string]NodeID),
+		labelByName: make(map[string]LabelID),
+		edges:       make(map[Edge]struct{}),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges reports the number of distinct (src, label, dst) edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels reports the number of distinct edge labels.
+func (g *Graph) NumLabels() int { return len(g.labels) }
+
+// AddNode interns name and returns its node ID, creating the node if needed.
+func (g *Graph) AddNode(name string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.byName[name] = id
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// Node returns the ID for name and whether it exists.
+func (g *Graph) Node(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustNode returns the ID for name, panicking if the node does not exist.
+// It is intended for tests and examples where the node is known to exist.
+func (g *Graph) MustNode(name string) NodeID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %q", name))
+	}
+	return id
+}
+
+// Name returns the entity name for id.
+func (g *Graph) Name(id NodeID) string { return g.names[id] }
+
+// AddLabel interns an edge label and returns its ID.
+func (g *Graph) AddLabel(label string) LabelID {
+	if id, ok := g.labelByName[label]; ok {
+		return id
+	}
+	id := LabelID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.labelByName[label] = id
+	return id
+}
+
+// Label returns the ID for label and whether it exists.
+func (g *Graph) Label(label string) (LabelID, bool) {
+	id, ok := g.labelByName[label]
+	return id, ok
+}
+
+// LabelName returns the string form of a label ID.
+func (g *Graph) LabelName(id LabelID) string { return g.labels[id] }
+
+// AddEdge adds the edge (src, label, dst) by name, creating nodes and the
+// label as needed. It reports whether the edge was new.
+func (g *Graph) AddEdge(src, label, dst string) bool {
+	return g.AddEdgeIDs(g.AddNode(src), g.AddLabel(label), g.AddNode(dst))
+}
+
+// AddEdgeIDs adds the edge (src, label, dst) by ID. It reports whether the
+// edge was new; duplicate edges are ignored.
+func (g *Graph) AddEdgeIDs(src NodeID, label LabelID, dst NodeID) bool {
+	e := Edge{Src: src, Label: label, Dst: dst}
+	if _, ok := g.edges[e]; ok {
+		return false
+	}
+	g.edges[e] = struct{}{}
+	g.out[src] = append(g.out[src], Arc{Label: label, Node: dst})
+	g.in[dst] = append(g.in[dst], Arc{Label: label, Node: src})
+	g.numEdges++
+	return true
+}
+
+// HasEdge reports whether the exact edge exists.
+func (g *Graph) HasEdge(e Edge) bool {
+	_, ok := g.edges[e]
+	return ok
+}
+
+// OutArcs returns the outgoing adjacency of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) OutArcs(v NodeID) []Arc { return g.out[v] }
+
+// InArcs returns the incoming adjacency of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) InArcs(v NodeID) []Arc { return g.in[v] }
+
+// Degree returns the total (in+out) degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// Edges calls fn for every edge in the graph in an unspecified order,
+// stopping early if fn returns false.
+func (g *Graph) Edges(fn func(Edge) bool) {
+	for src, arcs := range g.out {
+		for _, a := range arcs {
+			if !fn(Edge{Src: NodeID(src), Label: a.Label, Dst: a.Node}) {
+				return
+			}
+		}
+	}
+}
+
+// EdgesAsTriples calls fn(subject, predicate, object) by name for every
+// edge, in the unspecified order of Edges.
+func (g *Graph) EdgesAsTriples(fn func(s, p, o string)) {
+	g.Edges(func(e Edge) bool {
+		fn(g.Name(e.Src), g.LabelName(e.Label), g.Name(e.Dst))
+		return true
+	})
+}
+
+// SortAdjacency sorts all adjacency lists by (label, node). Loading is
+// order-dependent on input; sorting makes traversal order deterministic,
+// which the experiments rely on for reproducibility.
+func (g *Graph) SortAdjacency() {
+	for v := range g.out {
+		sortArcs(g.out[v])
+		sortArcs(g.in[v])
+	}
+}
+
+func sortArcs(arcs []Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Label != arcs[j].Label {
+			return arcs[i].Label < arcs[j].Label
+		}
+		return arcs[i].Node < arcs[j].Node
+	})
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes: %d, edges: %d, labels: %d}", g.NumNodes(), g.NumEdges(), g.NumLabels())
+}

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	// a -x-> b, a -y-> c, b -z-> d, c -z-> d
+	g.AddEdge("a", "x", "b")
+	g.AddEdge("a", "y", "c")
+	g.AddEdge("b", "z", "d")
+	g.AddEdge("c", "z", "d")
+	return g
+}
+
+func TestAddNodeInterning(t *testing.T) {
+	g := New()
+	a := g.AddNode("alpha")
+	b := g.AddNode("beta")
+	if a == b {
+		t.Fatalf("distinct names share ID %d", a)
+	}
+	if got := g.AddNode("alpha"); got != a {
+		t.Errorf("re-adding alpha: got %d, want %d", got, a)
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	if g.Name(a) != "alpha" || g.Name(b) != "beta" {
+		t.Errorf("names round-trip failed: %q, %q", g.Name(a), g.Name(b))
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := New()
+	a := g.AddNode("alpha")
+	if id, ok := g.Node("alpha"); !ok || id != a {
+		t.Errorf("Node(alpha) = %d,%v; want %d,true", id, ok, a)
+	}
+	if _, ok := g.Node("missing"); ok {
+		t.Error("Node(missing) reported ok")
+	}
+}
+
+func TestMustNodePanics(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNode on unknown name did not panic")
+		}
+	}()
+	g.MustNode("nope")
+}
+
+func TestLabelInterning(t *testing.T) {
+	g := New()
+	x := g.AddLabel("founded")
+	if got := g.AddLabel("founded"); got != x {
+		t.Errorf("re-adding label: got %d, want %d", got, x)
+	}
+	if g.LabelName(x) != "founded" {
+		t.Errorf("LabelName = %q", g.LabelName(x))
+	}
+	if _, ok := g.Label("founded"); !ok {
+		t.Error("Label(founded) not found")
+	}
+	if _, ok := g.Label("nope"); ok {
+		t.Error("Label(nope) found")
+	}
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New()
+	if !g.AddEdge("a", "x", "b") {
+		t.Error("first insert reported duplicate")
+	}
+	if g.AddEdge("a", "x", "b") {
+		t.Error("duplicate insert reported new")
+	}
+	if !g.AddEdge("a", "y", "b") {
+		t.Error("same endpoints different label should be a new edge")
+	}
+	if !g.AddEdge("b", "x", "a") {
+		t.Error("reversed edge should be a new edge")
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := buildDiamond(t)
+	a, b := g.MustNode("a"), g.MustNode("b")
+	x, _ := g.Label("x")
+	if !g.HasEdge(Edge{Src: a, Label: x, Dst: b}) {
+		t.Error("HasEdge missed an existing edge")
+	}
+	if g.HasEdge(Edge{Src: b, Label: x, Dst: a}) {
+		t.Error("HasEdge found a reversed edge that was never added")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := buildDiamond(t)
+	a, d := g.MustNode("a"), g.MustNode("d")
+	if got := len(g.OutArcs(a)); got != 2 {
+		t.Errorf("out-degree(a) = %d, want 2", got)
+	}
+	if got := len(g.InArcs(a)); got != 0 {
+		t.Errorf("in-degree(a) = %d, want 0", got)
+	}
+	if got := len(g.InArcs(d)); got != 2 {
+		t.Errorf("in-degree(d) = %d, want 2", got)
+	}
+	if got := g.Degree(d); got != 2 {
+		t.Errorf("Degree(d) = %d, want 2", got)
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := buildDiamond(t)
+	count := 0
+	g.Edges(func(Edge) bool { count++; return true })
+	if count != g.NumEdges() {
+		t.Errorf("iterated %d edges, want %d", count, g.NumEdges())
+	}
+	count = 0
+	g.Edges(func(Edge) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early-stop iterated %d edges, want 1", count)
+	}
+}
+
+func TestIncidentEdges(t *testing.T) {
+	g := buildDiamond(t)
+	b := g.MustNode("b")
+	var got []Edge
+	g.IncidentEdges(b, func(e Edge) { got = append(got, e) })
+	if len(got) != 2 {
+		t.Fatalf("incident edges of b = %d, want 2 (one in, one out)", len(got))
+	}
+	for _, e := range got {
+		if e.Src != b && e.Dst != b {
+			t.Errorf("edge %v not incident on b", e)
+		}
+	}
+}
+
+func TestUndirectedDistances(t *testing.T) {
+	g := buildDiamond(t)
+	a := g.MustNode("a")
+	dist := g.UndirectedDistances([]NodeID{a}, 2)
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2}
+	for name, wd := range want {
+		if got, ok := dist[g.MustNode(name)]; !ok || got != wd {
+			t.Errorf("dist[%s] = %d,%v; want %d", name, got, ok, wd)
+		}
+	}
+}
+
+func TestUndirectedDistancesDepthCutoff(t *testing.T) {
+	g := buildDiamond(t)
+	a := g.MustNode("a")
+	dist := g.UndirectedDistances([]NodeID{a}, 1)
+	if _, ok := dist[g.MustNode("d")]; ok {
+		t.Error("node d at distance 2 returned with maxDepth 1")
+	}
+	if len(dist) != 3 {
+		t.Errorf("reached %d nodes, want 3", len(dist))
+	}
+}
+
+func TestUndirectedDistancesMultiSeed(t *testing.T) {
+	g := New()
+	// chain: a - b - c - d - e, querying from both ends.
+	g.AddEdge("a", "l", "b")
+	g.AddEdge("b", "l", "c")
+	g.AddEdge("c", "l", "d")
+	g.AddEdge("d", "l", "e")
+	dist := g.UndirectedDistances([]NodeID{g.MustNode("a"), g.MustNode("e")}, 4)
+	if got := dist[g.MustNode("c")]; got != 2 {
+		t.Errorf("dist[c] = %d, want 2 (min over seeds)", got)
+	}
+	if got := dist[g.MustNode("b")]; got != 1 {
+		t.Errorf("dist[b] = %d, want 1", got)
+	}
+}
+
+func TestUndirectedDistancesIgnoresDirection(t *testing.T) {
+	g := New()
+	// edges point *into* a; undirected BFS must still cross them.
+	g.AddEdge("b", "l", "a")
+	g.AddEdge("c", "l", "b")
+	dist := g.UndirectedDistancesFrom(g.MustNode("a"), 5)
+	if got := dist[g.MustNode("c")]; got != 2 {
+		t.Errorf("dist[c] = %d, want 2 via reversed edges", got)
+	}
+}
+
+func TestSortAdjacencyDeterminism(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "z", "c")
+	g.AddEdge("a", "b", "b")
+	g.AddEdge("a", "b", "a2")
+	g.SortAdjacency()
+	arcs := g.OutArcs(g.MustNode("a"))
+	for i := 1; i < len(arcs); i++ {
+		prev, cur := arcs[i-1], arcs[i]
+		if prev.Label > cur.Label || (prev.Label == cur.Label && prev.Node > cur.Node) {
+			t.Fatalf("adjacency not sorted at %d: %v then %v", i, prev, cur)
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := buildDiamond(t)
+	want := "graph{nodes: 4, edges: 4, labels: 3}"
+	if got := g.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

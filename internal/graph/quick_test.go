@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSubGraph builds a small random subgraph from a rand source, used by
+// the property-based tests below.
+func randomSubGraph(r *rand.Rand, maxNodes, maxEdges int) *SubGraph {
+	n := 2 + r.Intn(maxNodes-1)
+	m := 1 + r.Intn(maxEdges)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{
+			Src:   NodeID(r.Intn(n)),
+			Label: LabelID(r.Intn(4)),
+			Dst:   NodeID(r.Intn(n)),
+		})
+	}
+	return NewSubGraph(edges)
+}
+
+// Property: components partition the edge set — every edge appears in exactly
+// one component, and each component is weakly connected.
+func TestQuickComponentsPartitionEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSubGraph(r, 12, 20)
+		comps := s.Components()
+		total := 0
+		seen := make(map[Edge]bool)
+		for _, c := range comps {
+			total += c.NumEdges()
+			if !c.IsWeaklyConnected(nil) {
+				return false
+			}
+			for _, e := range c.Edges {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		return total == s.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ComponentContaining of any node present in the graph returns a
+// component whose edges are a subset of the graph's and which contains the
+// node.
+func TestQuickComponentContainingIsComponent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSubGraph(r, 10, 15)
+		v := s.Edges[r.Intn(len(s.Edges))].Src
+		comp := s.ComponentContaining([]NodeID{v})
+		if comp == nil {
+			return false
+		}
+		if !comp.HasNode(v) {
+			return false
+		}
+		all := make(map[Edge]bool, len(s.Edges))
+		for _, e := range s.Edges {
+			all[e] = true
+		}
+		for _, e := range comp.Edges {
+			if !all[e] {
+				return false
+			}
+		}
+		return comp.IsWeaklyConnected(nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: undirected BFS distances within a subgraph satisfy the triangle
+// property across any edge — distances of the two endpoints differ by at
+// most 1 when both are reached.
+func TestQuickBFSDistancesEdgeConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSubGraph(r, 10, 18)
+		seed1 := s.Edges[0].Src
+		dist := s.UndirectedDistances([]NodeID{seed1})
+		for _, e := range s.Edges {
+			du, okU := dist[e.Src]
+			dv, okV := dist[e.Dst]
+			if okU != okV {
+				return false // an edge can't straddle the reachable boundary
+			}
+			if okU {
+				d := du - dv
+				if d < -1 || d > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union-find connectivity agrees with SubGraph component
+// connectivity for every pair of endpoint nodes.
+func TestQuickUnionFindMatchesComponents(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSubGraph(r, 10, 16)
+		u := NewUnionFind()
+		for _, e := range s.Edges {
+			u.AddEdge(e)
+		}
+		nodes := s.Nodes()
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				want := s.ComponentContaining([]NodeID{nodes[i], nodes[j]}) != nil
+				if u.SameSet(nodes[i], nodes[j]) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the big-graph undirected BFS agrees with the subgraph BFS when
+// the subgraph is the whole graph.
+func TestQuickGraphVsSubgraphBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 3 + r.Intn(8)
+		m := 2 + r.Intn(14)
+		var edges []Edge
+		for i := 0; i < m; i++ {
+			src := NodeID(r.Intn(n))
+			dst := NodeID(r.Intn(n))
+			for int(src) >= g.NumNodes() || int(dst) >= g.NumNodes() {
+				g.AddNode(string(rune('a' + g.NumNodes())))
+			}
+			l := g.AddLabel("l")
+			if g.AddEdgeIDs(src, l, dst) {
+				edges = append(edges, Edge{Src: src, Label: l, Dst: dst})
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		s := NewSubGraph(edges)
+		seed1 := edges[0].Src
+		dg := g.UndirectedDistances([]NodeID{seed1}, 1<<30)
+		ds := s.UndirectedDistances([]NodeID{seed1})
+		for v, d := range ds {
+			if dg[v] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

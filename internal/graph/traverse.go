@@ -1,0 +1,56 @@
+package graph
+
+// This file holds traversals over the big data graph: undirected BFS from a
+// seed set (the basis of the neighborhood graph of Def. 1) and undirected
+// reachability checks.
+
+// UndirectedDistances runs a breadth-first search from the seed nodes,
+// treating every edge as undirected, and returns the hop distance of each
+// reached node, up to and including maxDepth. Seeds have distance 0.
+//
+// The result maps only reached nodes; absent nodes are farther than maxDepth.
+func (g *Graph) UndirectedDistances(seeds []NodeID, maxDepth int) map[NodeID]int {
+	dist := make(map[NodeID]int, 16)
+	queue := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if _, ok := dist[s]; !ok {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		if dv == maxDepth {
+			continue
+		}
+		visit := func(u NodeID) {
+			if _, ok := dist[u]; !ok {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+		for _, a := range g.out[v] {
+			visit(a.Node)
+		}
+		for _, a := range g.in[v] {
+			visit(a.Node)
+		}
+	}
+	return dist
+}
+
+// UndirectedDistancesFrom is UndirectedDistances from a single seed.
+func (g *Graph) UndirectedDistancesFrom(seed NodeID, maxDepth int) map[NodeID]int {
+	return g.UndirectedDistances([]NodeID{seed}, maxDepth)
+}
+
+// IncidentEdges calls fn for every edge incident on v (both directions).
+func (g *Graph) IncidentEdges(v NodeID, fn func(Edge)) {
+	for _, a := range g.out[v] {
+		fn(Edge{Src: v, Label: a.Label, Dst: a.Node})
+	}
+	for _, a := range g.in[v] {
+		fn(Edge{Src: a.Node, Label: a.Label, Dst: v})
+	}
+}

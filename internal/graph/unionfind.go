@@ -1,0 +1,82 @@
+package graph
+
+// UnionFind is a disjoint-set forest over NodeIDs, used by the greedy MQG
+// search (Alg. 1) to maintain weakly connected components incrementally as
+// edges are added in descending weight order.
+type UnionFind struct {
+	parent map[NodeID]NodeID
+	rank   map[NodeID]int
+	size   map[NodeID]int // component edge counts, maintained by AddEdge
+}
+
+// NewUnionFind returns an empty disjoint-set forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent: make(map[NodeID]NodeID),
+		rank:   make(map[NodeID]int),
+		size:   make(map[NodeID]int),
+	}
+}
+
+// Find returns the representative of v's component, adding v as a singleton
+// if it has not been seen.
+func (u *UnionFind) Find(v NodeID) NodeID {
+	p, ok := u.parent[v]
+	if !ok {
+		u.parent[v] = v
+		return v
+	}
+	if p == v {
+		return v
+	}
+	root := u.Find(p)
+	u.parent[v] = root
+	return root
+}
+
+// Union merges the components of a and b and returns the new representative.
+func (u *UnionFind) Union(a, b NodeID) NodeID {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.size[ra] += u.size[rb]
+	delete(u.size, rb)
+	return ra
+}
+
+// AddEdge merges the endpoints' components and increments the component's
+// edge count. It returns the component representative.
+func (u *UnionFind) AddEdge(e Edge) NodeID {
+	r := u.Union(e.Src, e.Dst)
+	u.size[r]++
+	return r
+}
+
+// EdgeCount returns the number of edges added to v's component.
+func (u *UnionFind) EdgeCount(v NodeID) int { return u.size[u.Find(v)] }
+
+// SameSet reports whether a and b are in the same component.
+func (u *UnionFind) SameSet(a, b NodeID) bool { return u.Find(a) == u.Find(b) }
+
+// AllSameSet reports whether every node in vs is in one component.
+// Vacuously true for empty or single-node input (the node is auto-added).
+func (u *UnionFind) AllSameSet(vs []NodeID) bool {
+	if len(vs) == 0 {
+		return true
+	}
+	r := u.Find(vs[0])
+	for _, v := range vs[1:] {
+		if u.Find(v) != r {
+			return false
+		}
+	}
+	return true
+}

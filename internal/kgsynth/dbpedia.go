@@ -1,0 +1,244 @@
+package kgsynth
+
+import "fmt"
+
+// DBpedia generates the DBpedia-like dataset and its eight D-queries. The
+// graph is smaller than the Freebase-like one and uses a separate label
+// vocabulary (dbo_*), matching the paper's two-dataset setup (DBpedia:
+// 759K nodes / 2.6M edges / 9,110 labels vs Freebase's 28M / 47M / 5,428 —
+// proportionally fewer entities but richer labels).
+func DBpedia(cfg Config) *Dataset {
+	b := newBuilder(cfg)
+	d := &dbState{builder: b}
+	d.buildBase()
+	queries := []Query{
+		d.qD1(), d.qD2(), d.qD3(), d.qD4(),
+		d.qD5(), d.qD6(), d.qD7(), d.qD8(),
+	}
+	d.buildDistractors()
+	b.g.SortAdjacency()
+	return &Dataset{Name: "dbpedia-like", Graph: b.g, Queries: queries}
+}
+
+type dbState struct {
+	*builder
+	geo      geography
+	unis     []string
+	scaffold personScaffold
+
+	people []string // distractor pool
+	clubs  []string
+}
+
+func (d *dbState) buildBase() {
+	d.geo = d.buildGeography("dbo_locatedIn", 15, 40, d.n(200))
+	d.unis = names("DB University", d.n(50))
+	for i, u := range d.unis {
+		d.edge(u, "dbo_locatedIn", d.geo.cities[i%len(d.geo.cities)])
+	}
+	d.scaffold = personScaffold{
+		natLabel:     "dbo_nationality",
+		livedLabel:   "dbo_residence",
+		eduLabel:     "dbo_almaMater",
+		geo:          d.geo,
+		universities: d.unis,
+		rareLabels:   rareFactLabels("dbo", 50),
+	}
+	d.clubs = names("DB Football Club", d.n(40))
+	for i, c := range d.clubs {
+		d.edge(c, "dbo_league", fmt.Sprintf("DB League %d", i%5+1))
+		d.edge(c, "dbo_ground", d.geo.cities[zipfIndex(d.rng, len(d.geo.cities))])
+		d.rareFact("dbclub", c)
+	}
+}
+
+// qD1: people and their profession (⟨Alan Turing, Computer Scientist⟩).
+func (d *dbState) qD1() Query {
+	profession := "DB Computer Scientist"
+	total := planted(d.n(52), 8)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		p := fmt.Sprintf("DB Scientist %d", i+1)
+		d.people = append(d.people, p)
+		d.edge(p, "dbo_occupation", profession)
+		d.edge(p, "dbo_knownFor", fmt.Sprintf("DB Contribution %d", i/2+1))
+		d.scaffoldPerson(p, &d.scaffold)
+		if len(table) < d.n(52) {
+			table = append(table, []string{p, profession})
+		} else {
+			off = append(off, []string{p, profession})
+		}
+	}
+	return Query{ID: "D1", Description: "people with a given profession", Table: table, OffTable: off}
+}
+
+// qD2: players and clubs (⟨David Beckham, Manchester United⟩).
+func (d *dbState) qD2() Query {
+	total := planted(d.n(150), 15)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		p := fmt.Sprintf("DB Footballer %d", i+1)
+		d.people = append(d.people, p)
+		club := d.clubs[(i*3)%len(d.clubs)]
+		d.edge(p, "dbo_team", club)
+		d.edge(p, "dbo_position", pick(d.rng, []string{"Midfielder", "Forward", "Defender", "Goalkeeper"}))
+		d.scaffoldPerson(p, &d.scaffold)
+		if len(table) < d.n(150) {
+			table = append(table, []string{p, club})
+		} else {
+			off = append(off, []string{p, club})
+		}
+	}
+	d.backfill("DB Youth Player", "dbo_position", []string{"Midfielder", "Forward", "Defender", "Goalkeeper"}, 150)
+	return Query{ID: "D2", Description: "footballers and their clubs", Table: table, OffTable: off}
+}
+
+// qD3: companies and their software (⟨Microsoft, Microsoft Excel⟩).
+func (d *dbState) qD3() Query {
+	companies := names("DB Software Company", d.n(60))
+	for _, c := range companies {
+		d.edge(c, "dbo_industry", "DB Software Industry")
+		d.edge(c, "dbo_location", d.geo.cities[zipfIndex(d.rng, len(d.geo.cities))])
+	}
+	total := planted(d.n(150), 15)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		c := companies[(i*3)%len(companies)]
+		sw := fmt.Sprintf("DB Application %d", i+1)
+		d.edge(c, "dbo_product", sw)
+		d.edge(sw, "dbo_genre", pick(d.rng, []string{"DB Spreadsheet", "DB Editor", "DB Browser"}))
+		d.rareFact("dbsoftware", sw)
+		if len(table) < d.n(150) {
+			table = append(table, []string{c, sw})
+		} else {
+			off = append(off, []string{c, sw})
+		}
+	}
+	d.backfill("DB Consultancy", "dbo_industry", []string{"DB Software Industry"}, 120)
+	d.backfill("DB Utility", "dbo_genre", []string{"DB Spreadsheet", "DB Editor", "DB Browser"}, 120)
+	return Query{ID: "D3", Description: "companies and the software they ship", Table: table, OffTable: off}
+}
+
+// qD4: directors and films (⟨Steven Spielberg, Catch Me If You Can⟩).
+func (d *dbState) qD4() Query {
+	directors := names("DB Director", d.n(15))
+	for _, dir := range directors {
+		d.people = append(d.people, dir)
+		d.scaffoldPerson(dir, &d.scaffold)
+	}
+	total := planted(d.n(37), 6)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		dir := directors[(i*3)%len(directors)]
+		film := fmt.Sprintf("DB Film %d", i+1)
+		d.edge(film, "dbo_director", dir)
+		d.edge(film, "dbo_genre", pick(d.rng, []string{"DB Drama", "DB Comedy", "DB Action"}))
+		d.rareFact("dbfilm", film)
+		if len(table) < d.n(37) {
+			table = append(table, []string{dir, film})
+		} else {
+			off = append(off, []string{dir, film})
+		}
+	}
+	d.backfill("DB Short Film", "dbo_genre", []string{"DB Drama", "DB Comedy", "DB Action"}, 150)
+	return Query{ID: "D4", Description: "directors and their films", Table: table, OffTable: off}
+}
+
+// qD5: aircraft and manufacturer, entity order reversed vs F7
+// (⟨Boeing C-40 Clipper, Boeing⟩).
+func (d *dbState) qD5() Query {
+	makers := names("DB Aerospace Corp", 8)
+	for _, m := range makers {
+		d.edge(m, "dbo_industry", "DB Aerospace Industry")
+	}
+	total := planted(d.n(100), 12)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		m := makers[i%len(makers)]
+		craft := fmt.Sprintf("DB Aircraft %d", i+1)
+		d.edge(craft, "dbo_manufacturer", m)
+		d.edge(craft, "dbo_aircraftType", pick(d.rng, []string{"DB Airliner", "DB Military"}))
+		d.rareFact("dbaircraft", craft)
+		if len(table) < d.n(100) {
+			table = append(table, []string{craft, m})
+		} else {
+			off = append(off, []string{craft, m})
+		}
+	}
+	d.backfill("DB Defense Firm", "dbo_industry", []string{"DB Aerospace Industry"}, 120)
+	d.backfill("DB Glider", "dbo_aircraftType", []string{"DB Airliner", "DB Military"}, 120)
+	return Query{ID: "D5", Description: "aircraft and their manufacturers", Table: table, OffTable: off}
+}
+
+// qD6: athletes and award (⟨Arnold Palmer, Sportsman of the year⟩).
+func (d *dbState) qD6() Query {
+	award := "DB Sports Award"
+	total := planted(d.n(120), 12)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		a := fmt.Sprintf("DB Athlete %d", i+1)
+		d.people = append(d.people, a)
+		d.edge(a, "dbo_award", award)
+		d.edge(a, "dbo_sport", pick(d.rng, []string{"DB Golf", "DB Tennis", "DB Swimming"}))
+		d.scaffoldPerson(a, &d.scaffold)
+		if len(table) < d.n(120) {
+			table = append(table, []string{a, award})
+		} else {
+			off = append(off, []string{a, award})
+		}
+	}
+	d.backfill("DB Amateur", "dbo_sport", []string{"DB Golf", "DB Tennis", "DB Swimming"}, 150)
+	return Query{ID: "D6", Description: "athletes who won the award", Table: table, OffTable: off}
+}
+
+// qD7: clubs and owners (⟨Manchester City FC, Mansour bin Zayed Al Nahyan⟩).
+func (d *dbState) qD7() Query {
+	total := planted(d.n(40), 6)
+	var table, off [][]string
+	for i := 0; i < total && i < len(d.clubs); i++ {
+		owner := fmt.Sprintf("DB Club Owner %d", i+1)
+		d.people = append(d.people, owner)
+		club := d.clubs[i]
+		d.edge(club, "dbo_owner", owner)
+		d.scaffoldPerson(owner, &d.scaffold)
+		if len(table) < d.n(40) {
+			table = append(table, []string{club, owner})
+		} else {
+			off = append(off, []string{club, owner})
+		}
+	}
+	return Query{ID: "D7", Description: "clubs and their owners", Table: table, OffTable: off}
+}
+
+// qD8: designers and languages (⟨Bjarne Stroustrup, C++⟩).
+func (d *dbState) qD8() Query {
+	total := planted(d.n(200), 20)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		designer := fmt.Sprintf("DB Language Designer %d", i+1)
+		d.people = append(d.people, designer)
+		lang := fmt.Sprintf("DB Language %d", i+1)
+		d.edge(lang, "dbo_designer", designer)
+		d.edge(lang, "dbo_paradigm", pick(d.rng, []string{"DB Imperative", "DB Functional"}))
+		d.rareFact("dblang", lang)
+		d.scaffoldPerson(designer, &d.scaffold)
+		if len(table) < d.n(200) {
+			table = append(table, []string{designer, lang})
+		} else {
+			off = append(off, []string{designer, lang})
+		}
+	}
+	d.backfill("DB Dialect", "dbo_paradigm", []string{"DB Imperative", "DB Functional"}, 150)
+	return Query{ID: "D8", Description: "designers and the languages they designed", Table: table, OffTable: off}
+}
+
+func (d *dbState) buildDistractors() {
+	for i := 0; i < d.n(300); i++ {
+		p := fmt.Sprintf("DB Person %d", i+1)
+		d.people = append(d.people, p)
+		d.scaffoldPerson(p, &d.scaffold)
+	}
+	// DBpedia's label vocabulary is wider than Freebase's relative to size;
+	// use a deeper noise tail.
+	d.noiseAttributes("dbp", d.n(200), 4, d.people)
+}

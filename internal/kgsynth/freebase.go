@@ -1,0 +1,635 @@
+package kgsynth
+
+import "fmt"
+
+// Freebase generates the Freebase-like dataset and its twenty F-queries.
+// Domain sizes echo Table I's ground-truth table sizes (the paper's largest
+// tables are scaled down; F18's 8349-row founder table becomes 400 rows).
+func Freebase(cfg Config) *Dataset {
+	b := newBuilder(cfg)
+	f := &fbState{builder: b}
+	f.buildBase()
+
+	queries := []Query{
+		f.qF1(), f.qF2(), f.qF3(), f.qF4(), f.qF5(),
+		f.qF6(), f.qF7(), f.qF8(), f.qF9(), f.qF10(),
+		f.qF11(), f.qF12(), f.qF13(), f.qF14(), f.qF15(),
+		f.qF16(), f.qF17(), f.qF18(), f.qF19(), f.qF20(),
+	}
+	f.buildDistractors()
+	b.g.SortAdjacency()
+	return &Dataset{Name: "freebase-like", Graph: b.g, Queries: queries}
+}
+
+// fbState carries the pools shared across query domains, mirroring how
+// Freebase entities participate in many relations at once.
+type fbState struct {
+	*builder
+	geo          geography
+	universities []string
+	scaffold     personScaffold
+
+	techCompanies []string // F18 companies, reused by F10/F12
+	founders      []string
+	software      []string // F10 software, reused by F15
+	languages     []string // F19 languages, reused by F15/F16
+	athletes      []string // F4 athletes, reused by F3
+	clubs         []string // F6/F8 clubs
+}
+
+func (f *fbState) buildBase() {
+	f.geo = f.buildGeography("located_in", 20, 50, f.n(300))
+	f.universities = names("University", f.n(80))
+	for i, u := range f.universities {
+		f.edge(u, "located_in", f.geo.cities[i%len(f.geo.cities)])
+		f.edge(u, "institution_type", "Higher Education")
+	}
+	f.scaffold = personScaffold{
+		natLabel:     "nationality",
+		livedLabel:   "places_lived",
+		eduLabel:     "education",
+		geo:          f.geo,
+		universities: f.universities,
+		rareLabels:   rareFactLabels("bio", 40),
+	}
+}
+
+// planted builds a table of rows plus `extra` out-of-table rows with the
+// same structure (real curated tables are incomplete; these extras are what
+// keeps P@k below 1, as in the paper).
+func planted(tableRows, extra int) int { return tableRows + extra }
+
+// --- F1: scientists with a shared award --------------------------------
+
+func (f *fbState) qF1() Query {
+	award := "Turing Award"
+	f.edge(award, "award_category", "Science Award")
+	total := planted(f.n(18), 5)
+	scientists := names("Computer Scientist", total)
+	var table, off [][]string
+	for i, s := range scientists {
+		uni := f.universities[(i*7)%len(f.universities)]
+		f.edge(s, "education", uni)
+		f.edge(s, "award_won", award)
+		f.edge(s, "field_of_study", "Computer Science")
+		f.scaffoldPerson(s, &f.scaffold)
+		if i < f.n(18) {
+			table = append(table, []string{s, uni, award})
+		} else {
+			off = append(off, []string{s, uni, award})
+		}
+	}
+	f.backfill("Regional Prize", "award_category", []string{"Science Award", "Sports Award"}, 120)
+	f.backfill("Adjunct Researcher", "field_of_study", []string{"Computer Science"}, 150)
+	return Query{ID: "F1", Description: "scientists, their universities and the award they won", Table: table, OffTable: off}
+}
+
+// --- F2: automaker, marque, model ---------------------------------------
+
+func (f *fbState) qF2() Query {
+	makers := names("Automaker", 8)
+	var table, off [][]string
+	model := 0
+	for i, m := range makers {
+		f.edge(m, "headquartered_in", f.geo.cities[zipfIndex(f.rng, len(f.geo.cities))])
+		f.edge(m, "industry", "Automotive")
+		nDiv := 2 + f.rng.Intn(2)
+		for d := 0; d < nDiv; d++ {
+			marque := fmt.Sprintf("Marque %d-%d", i+1, d+1)
+			f.edge(m, "division", marque)
+			nMod := 2 + f.rng.Intn(2)
+			for k := 0; k < nMod; k++ {
+				model++
+				car := fmt.Sprintf("Car Model %d", model)
+				f.edge(marque, "produces", car)
+				f.edge(car, "vehicle_class", pick(f.rng, []string{"Sedan", "SUV", "Coupe"}))
+				f.rareFact("car", car)
+				if len(table) < f.n(25) {
+					table = append(table, []string{m, marque, car})
+				} else {
+					off = append(off, []string{m, marque, car})
+				}
+			}
+		}
+	}
+	f.backfill("Parts Supplier", "industry", []string{"Automotive"}, 120)
+	// Background vehicles dilute vehicle_class: Freebase classifies far more
+	// cars than any one table lists, and the resulting participation degrees
+	// stop the few class values from forming high-weight 2-hop bridges
+	// between unrelated models.
+	for i := 0; i < f.n(150); i++ {
+		f.edge(fmt.Sprintf("Fleet Vehicle %d", i+1), "vehicle_class",
+			pick(f.rng, []string{"Sedan", "SUV", "Coupe"}))
+	}
+	return Query{ID: "F2", Description: "automaker, its marque and a model of that marque", Table: table, OffTable: off}
+}
+
+// --- F3: brand endorsements ----------------------------------------------
+
+func (f *fbState) qF3() Query {
+	f.ensureAthletes()
+	brands := names("Sportswear Brand", 6)
+	total := planted(f.n(20), 4)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		brand := brands[i%len(brands)]
+		athlete := f.athletes[(i*3)%len(f.athletes)]
+		f.edge(brand, "endorses", athlete)
+		f.edge(brand, "industry", "Apparel")
+		if len(table) < f.n(20) {
+			table = append(table, []string{brand, athlete})
+		} else {
+			off = append(off, []string{brand, athlete})
+		}
+	}
+	f.backfill("Apparel Maker", "industry", []string{"Apparel"}, 120)
+	return Query{ID: "F3", Description: "brands and the athletes they endorse", Table: table, OffTable: off}
+}
+
+// --- F4: athlete awards ---------------------------------------------------
+
+func (f *fbState) qF4() Query {
+	f.ensureAthletes()
+	award := "Sportsman of the Year"
+	f.edge(award, "award_category", "Sports Award")
+	total := planted(f.n(55), 8)
+	var table, off [][]string
+	for i := 0; i < total && i < len(f.athletes); i++ {
+		a := f.athletes[i]
+		f.edge(a, "award_won", award)
+		if len(table) < f.n(55) {
+			table = append(table, []string{a, award})
+		} else {
+			off = append(off, []string{a, award})
+		}
+	}
+	return Query{ID: "F4", Description: "athletes who won the sportsman award", Table: table, OffTable: off}
+}
+
+// --- F5: religion founders ------------------------------------------------
+
+func (f *fbState) qF5() Query {
+	total := planted(f.n(100), 10)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		founder := fmt.Sprintf("Spiritual Leader %d", i+1)
+		religion := fmt.Sprintf("Belief System %d", i+1)
+		f.edge(founder, "founded_religion", religion)
+		f.edge(religion, "belief_type", "Religion")
+		f.rareFact("religion", religion)
+		f.scaffoldPerson(founder, &f.scaffold)
+		if len(table) < f.n(100) {
+			table = append(table, []string{founder, religion})
+		} else {
+			off = append(off, []string{founder, religion})
+		}
+	}
+	f.backfill("Folk Tradition", "belief_type", []string{"Religion"}, 150)
+	return Query{ID: "F5", Description: "founders of religions", Table: table, OffTable: off}
+}
+
+// --- F6: club owners -------------------------------------------------------
+
+func (f *fbState) qF6() Query {
+	f.ensureClubs()
+	total := planted(f.n(40), 6)
+	var table, off [][]string
+	for i := 0; i < total && i < len(f.clubs); i++ {
+		owner := fmt.Sprintf("Club Owner %d", i+1)
+		club := f.clubs[i]
+		f.edge(owner, "owner_of", club)
+		f.scaffoldPerson(owner, &f.scaffold)
+		if len(table) < f.n(40) {
+			table = append(table, []string{club, owner})
+		} else {
+			off = append(off, []string{club, owner})
+		}
+	}
+	return Query{ID: "F6", Description: "football clubs and their owners", Table: table, OffTable: off}
+}
+
+// --- F7: aircraft manufacturers --------------------------------------------
+
+func (f *fbState) qF7() Query {
+	makers := names("Aerospace Manufacturer", 10)
+	for _, m := range makers {
+		f.edge(m, "industry", "Aerospace")
+		f.edge(m, "headquartered_in", f.geo.cities[zipfIndex(f.rng, len(f.geo.cities))])
+	}
+	total := planted(f.n(89), 10)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		m := makers[i%len(makers)]
+		craft := fmt.Sprintf("Aircraft %d", i+1)
+		f.edge(m, "manufactured", craft)
+		f.edge(craft, "aircraft_type", pick(f.rng, []string{"Transport", "Fighter", "Trainer"}))
+		f.rareFact("aircraft", craft)
+		if len(table) < f.n(89) {
+			table = append(table, []string{m, craft})
+		} else {
+			off = append(off, []string{m, craft})
+		}
+	}
+	f.backfill("Aerospace Supplier", "industry", []string{"Aerospace"}, 150)
+	f.backfill("Light Aircraft", "aircraft_type", []string{"Transport", "Fighter", "Trainer"}, 150)
+	return Query{ID: "F7", Description: "manufacturers and their aircraft", Table: table, OffTable: off}
+}
+
+// --- F8: players and clubs --------------------------------------------------
+
+func (f *fbState) qF8() Query {
+	f.ensureClubs()
+	total := planted(f.n(94), 12)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		p := fmt.Sprintf("Footballer %d", i+1)
+		club := f.clubs[(i*5)%len(f.clubs)]
+		f.edge(p, "plays_for", club)
+		f.edge(p, "plays_sport", "Football")
+		f.scaffoldPerson(p, &f.scaffold)
+		if f.rng.Float64() < 0.3 { // loan spells: a second club
+			f.edge(p, "plays_for", f.clubs[(i*5+3)%len(f.clubs)])
+		}
+		if len(table) < f.n(94) {
+			table = append(table, []string{p, club})
+		} else {
+			off = append(off, []string{p, club})
+		}
+	}
+	return Query{ID: "F8", Description: "footballers and the clubs they played for", Table: table, OffTable: off}
+}
+
+// --- F9: host cities of games ------------------------------------------------
+
+func (f *fbState) qF9() Query {
+	total := planted(f.n(41), 5)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		city := f.geo.cities[(i*11)%len(f.geo.cities)]
+		games := fmt.Sprintf("Games Edition %d", i+1)
+		f.edge(city, "hosted", games)
+		f.edge(games, "event_type", "Olympic Games")
+		f.rareFact("games", games)
+		if len(table) < f.n(41) {
+			table = append(table, []string{city, games})
+		} else {
+			off = append(off, []string{city, games})
+		}
+	}
+	f.backfill("Regional Games", "event_type", []string{"Olympic Games"}, 120)
+	return Query{ID: "F9", Description: "cities and the games they hosted", Table: table, OffTable: off}
+}
+
+// --- F10: companies and their software ---------------------------------------
+
+func (f *fbState) qF10() Query {
+	f.ensureTech()
+	f.ensureLanguages()
+	total := planted(f.n(200), 20)
+	f.software = names("Software Product", total)
+	var table, off [][]string
+	for i, sw := range f.software {
+		company := f.techCompanies[(i*3)%len(f.techCompanies)]
+		f.edge(company, "developed", sw)
+		f.edge(sw, "software_genre", pick(f.rng, []string{"Productivity", "Database", "Game", "Middleware"}))
+		f.edge(sw, "written_in", f.languages[zipfIndex(f.rng, len(f.languages))])
+		f.rareFact("software", sw)
+		if len(table) < f.n(200) {
+			table = append(table, []string{company, sw})
+		} else {
+			off = append(off, []string{company, sw})
+		}
+	}
+	return Query{ID: "F10", Description: "companies and the software they develop", Table: table, OffTable: off}
+}
+
+// --- F11: comic creators -------------------------------------------------------
+
+func (f *fbState) qF11() Query {
+	total := planted(f.n(25), 4)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		creator := fmt.Sprintf("Comic Creator %d", i+1)
+		character := fmt.Sprintf("Comic Character %d", i+1)
+		f.edge(creator, "created", character)
+		f.edge(character, "fictional_universe", pick(f.rng, []string{"Universe Alpha", "Universe Beta"}))
+		f.rareFact("character", character)
+		f.scaffoldPerson(creator, &f.scaffold)
+		if len(table) < f.n(25) {
+			table = append(table, []string{creator, character})
+		} else {
+			off = append(off, []string{creator, character})
+		}
+	}
+	f.backfill("Minor Character", "fictional_universe", []string{"Universe Alpha", "Universe Beta"}, 150)
+	return Query{ID: "F11", Description: "comic creators and their characters", Table: table, OffTable: off}
+}
+
+// --- F12: companies and their investors ------------------------------------------
+
+func (f *fbState) qF12() Query {
+	f.ensureTech()
+	investors := names("Venture Fund", f.n(40))
+	for _, v := range investors {
+		f.edge(v, "industry", "Venture Capital")
+	}
+	total := planted(f.n(120), 15)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		inv := investors[zipfIndex(f.rng, len(investors))]
+		company := f.techCompanies[(i*7)%len(f.techCompanies)]
+		f.edge(inv, "invested_in", company)
+		if len(table) < f.n(120) {
+			table = append(table, []string{company, inv})
+		} else {
+			off = append(off, []string{company, inv})
+		}
+	}
+	return Query{ID: "F12", Description: "companies and the funds that invested in them", Table: table, OffTable: off}
+}
+
+// --- F13: composers and compositions ----------------------------------------------
+
+func (f *fbState) qF13() Query {
+	composers := names("Composer", f.n(50))
+	for _, c := range composers {
+		f.scaffoldPerson(c, &f.scaffold)
+		f.edge(c, "occupation", "Composer")
+	}
+	total := planted(f.n(150), 15)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		c := composers[(i*3)%len(composers)]
+		work := fmt.Sprintf("Symphony Op %d", i+1)
+		f.edge(c, "composed", work)
+		f.edge(work, "music_form", "Symphony")
+		f.rareFact("symphony", work)
+		if len(table) < f.n(150) {
+			table = append(table, []string{c, work})
+		} else {
+			off = append(off, []string{c, work})
+		}
+	}
+	f.backfill("Chamber Work", "music_form", []string{"Symphony"}, 150)
+	return Query{ID: "F13", Description: "composers and their symphonies", Table: table, OffTable: off}
+}
+
+// --- F14: elements and isotopes ------------------------------------------------------
+
+func (f *fbState) qF14() Query {
+	elements := names("Element", 12)
+	total := planted(f.n(26), 4)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		el := elements[i%len(elements)]
+		iso := fmt.Sprintf("Isotope %d", i+1)
+		f.edge(el, "has_isotope", iso)
+		f.edge(el, "element_class", pick(f.rng, []string{"Metal", "Nonmetal"}))
+		f.edge(iso, "decay_mode", pick(f.rng, []string{"Alpha", "Beta", "Stable"}))
+		f.rareFact("isotope", iso)
+		if len(table) < f.n(26) {
+			table = append(table, []string{el, iso})
+		} else {
+			off = append(off, []string{el, iso})
+		}
+	}
+	f.backfill("Trace Compound", "element_class", []string{"Metal", "Nonmetal"}, 120)
+	// Background nuclides keep decay_mode from being a globally-rare label
+	// whose few shared values bridge unrelated isotopes (Freebase has decay
+	// data for thousands of nuclides).
+	for i := 0; i < f.n(250); i++ {
+		f.edge(fmt.Sprintf("Minor Nuclide %d", i+1), "decay_mode",
+			pick(f.rng, []string{"Alpha", "Beta", "Stable"}))
+	}
+	return Query{ID: "F14", Description: "elements and their isotopes", Table: table, OffTable: off}
+}
+
+// --- F15: software and implementation language -----------------------------------------
+
+func (f *fbState) qF15() Query {
+	f.ensureTech()
+	f.ensureLanguages()
+	if f.software == nil {
+		f.qF10()
+	}
+	// The written_in edges were planted in F10; the table projects them.
+	var table, off [][]string
+	limit := f.n(200)
+	g := f.g
+	for _, sw := range f.software {
+		if len(table) >= limit {
+			break
+		}
+		id, ok := g.Node(sw)
+		if !ok {
+			continue
+		}
+		wl, ok := g.Label("written_in")
+		if !ok {
+			continue
+		}
+		for _, a := range g.OutArcs(id) {
+			if a.Label == wl {
+				table = append(table, []string{sw, g.Name(a.Node)})
+				break
+			}
+		}
+	}
+	return Query{ID: "F15", Description: "software and the language it is written in", Table: table, OffTable: off}
+}
+
+// --- F16: language designers ---------------------------------------------------------
+
+func (f *fbState) qF16() Query {
+	f.ensureLanguages()
+	total := planted(f.n(100), 12)
+	var table, off [][]string
+	for i := 0; i < total && i < len(f.languages); i++ {
+		designer := fmt.Sprintf("Language Designer %d", i+1)
+		lang := f.languages[i]
+		f.edge(designer, "designed", lang)
+		f.edge(designer, "occupation", "Computer Scientist")
+		f.scaffoldPerson(designer, &f.scaffold)
+		if len(table) < f.n(100) {
+			table = append(table, []string{designer, lang})
+		} else {
+			off = append(off, []string{designer, lang})
+		}
+	}
+	return Query{ID: "F16", Description: "designers and the languages they designed", Table: table, OffTable: off}
+}
+
+// --- F17: directors and films ----------------------------------------------------------
+
+func (f *fbState) qF17() Query {
+	directors := names("Film Director", f.n(20))
+	for _, d := range directors {
+		f.scaffoldPerson(d, &f.scaffold)
+		f.edge(d, "occupation", "Film Director")
+	}
+	total := planted(f.n(40), 8)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		d := directors[(i*3)%len(directors)]
+		film := fmt.Sprintf("Feature Film %d", i+1)
+		f.edge(d, "directed", film)
+		f.edge(film, "film_genre", pick(f.rng, []string{"Drama", "Sci-Fi", "Thriller"}))
+		f.rareFact("film", film)
+		if len(table) < f.n(40) {
+			table = append(table, []string{d, film})
+		} else {
+			off = append(off, []string{d, film})
+		}
+	}
+	// Background filmography: Freebase holds ~100k films, so film_genre is a
+	// common label with heavy genre hubs rather than a bridge-forming rarity.
+	tvDirectors := names("Television Director", f.n(40))
+	for i := 0; i < f.n(200); i++ {
+		tv := fmt.Sprintf("Television Film %d", i+1)
+		f.edge(tvDirectors[i%len(tvDirectors)], "directed", tv)
+		f.edge(tv, "film_genre", pick(f.rng, []string{"Drama", "Sci-Fi", "Thriller"}))
+	}
+	return Query{ID: "F17", Description: "directors and their films", Table: table, OffTable: off}
+}
+
+// --- F18: founders and companies (the running example) ----------------------------------
+
+func (f *fbState) qF18() Query {
+	f.ensureTech()
+	var table, off [][]string
+	for i, c := range f.techCompanies {
+		founder := fmt.Sprintf("Founder %d", i+1)
+		f.founders = append(f.founders, founder)
+		f.edge(founder, "founded", c)
+		f.scaffoldPerson(founder, &f.scaffold)
+		if f.rng.Float64() < 0.2 { // co-founder
+			co := fmt.Sprintf("Co-Founder %d", i+1)
+			f.edge(co, "founded", c)
+			f.scaffoldPerson(co, &f.scaffold)
+		}
+		if len(table) < f.n(400) {
+			table = append(table, []string{founder, c})
+		} else {
+			off = append(off, []string{founder, c})
+		}
+	}
+	return Query{ID: "F18", Description: "founders and their technology companies", Table: table, OffTable: off}
+}
+
+// --- F19: programming languages (single-entity) -------------------------------------------
+
+func (f *fbState) qF19() Query {
+	f.ensureLanguages()
+	var table, off [][]string
+	for _, l := range f.languages {
+		if len(table) >= f.n(200) {
+			break
+		}
+		table = append(table, []string{l})
+	}
+	return Query{ID: "F19", Description: "programming languages (single-entity query)", Table: table, OffTable: off}
+}
+
+// --- F20: celebrity couples (single-entity) -------------------------------------------------
+
+func (f *fbState) qF20() Query {
+	total := planted(f.n(16), 3)
+	var table, off [][]string
+	for i := 0; i < total; i++ {
+		couple := fmt.Sprintf("Celebrity Couple %d", i+1)
+		a := fmt.Sprintf("Celebrity %d", 2*i+1)
+		bN := fmt.Sprintf("Celebrity %d", 2*i+2)
+		f.edge(couple, "partner", a)
+		f.edge(couple, "partner", bN)
+		f.edge(couple, "union_type", "Celebrity Couple")
+		f.rareFact("couple", couple)
+		f.scaffoldPerson(a, &f.scaffold)
+		f.scaffoldPerson(bN, &f.scaffold)
+		if len(table) < f.n(16) {
+			table = append(table, []string{couple})
+		} else {
+			off = append(off, []string{couple})
+		}
+	}
+	f.backfill("Historic Couple", "union_type", []string{"Celebrity Couple"}, 100)
+	return Query{ID: "F20", Description: "celebrity couples (single-entity query)", Table: table, OffTable: off}
+}
+
+// --- shared pools ---------------------------------------------------------------------------
+
+func (f *fbState) ensureTech() {
+	if f.techCompanies != nil {
+		return
+	}
+	f.techCompanies = names("Tech Company", planted(f.n(400), 40))
+	corpFacts := rareFactLabels("corp", 30)
+	for i, c := range f.techCompanies {
+		f.edge(c, "headquartered_in", f.geo.cities[zipfIndex(f.rng, len(f.geo.cities))])
+		f.edge(c, "industry", "Technology")
+		if f.rng.Float64() < 0.5 {
+			f.edge(c, pick(f.rng, corpFacts), fmt.Sprintf("corp detail %d", i+1))
+		}
+	}
+}
+
+func (f *fbState) ensureLanguages() {
+	if f.languages != nil {
+		return
+	}
+	f.languages = names("Programming Language", planted(f.n(200), 20))
+	for _, l := range f.languages {
+		f.edge(l, "paradigm", pick(f.rng, []string{"Imperative", "Functional", "Object-Oriented", "Logic"}))
+		f.edge(l, "product_type", "Programming Language")
+		f.rareFact("language", l)
+	}
+}
+
+func (f *fbState) ensureAthletes() {
+	if f.athletes != nil {
+		return
+	}
+	f.athletes = names("Athlete", f.n(120))
+	for _, a := range f.athletes {
+		f.edge(a, "plays_sport", pick(f.rng, []string{"Swimming", "Golf", "Tennis", "Athletics"}))
+		f.scaffoldPerson(a, &f.scaffold)
+	}
+	f.backfill("Amateur Athlete", "plays_sport", []string{"Swimming", "Golf", "Tennis", "Athletics", "Football"}, 200)
+}
+
+func (f *fbState) ensureClubs() {
+	if f.clubs != nil {
+		return
+	}
+	f.clubs = names("Football Club", f.n(60))
+	leagues := names("League", 6)
+	for i, c := range f.clubs {
+		f.edge(c, "plays_in", leagues[i%len(leagues)])
+		f.edge(c, "based_in", f.geo.cities[zipfIndex(f.rng, len(f.geo.cities))])
+		f.rareFact("club", c)
+	}
+	f.backfill("Amateur Club", "plays_in", leagues, 150)
+}
+
+// buildDistractors adds entities that share part of the queries' structure:
+// employees who merely work at companies, students, fans, plus the long tail
+// of rare noise labels.
+func (f *fbState) buildDistractors() {
+	f.ensureTech()
+	var people []string
+	nEmp := f.n(600)
+	for i := 0; i < nEmp; i++ {
+		p := fmt.Sprintf("Employee %d", i+1)
+		people = append(people, p)
+		f.edge(p, "works_at", f.techCompanies[zipfIndex(f.rng, len(f.techCompanies))])
+		f.scaffoldPerson(p, &f.scaffold)
+	}
+	// board members: a rarer relation on the same companies, the paper's
+	// own example of local-frequency significance (§III-B).
+	for i := 0; i < f.n(60); i++ {
+		p := fmt.Sprintf("Board Member %d", i+1)
+		people = append(people, p)
+		f.edge(p, "board_member_of", f.techCompanies[zipfIndex(f.rng, len(f.techCompanies))])
+		f.scaffoldPerson(p, &f.scaffold)
+	}
+	f.noiseAttributes("attr", f.n(120), 6, people)
+}

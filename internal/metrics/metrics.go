@@ -1,0 +1,126 @@
+// Package metrics implements the accuracy measures of §VI: precision-at-k,
+// average precision / MAP, normalized discounted cumulative gain (with the
+// paper's DCG formulation), and the Pearson correlation coefficient used by
+// the user study.
+package metrics
+
+import "math"
+
+// PrecisionAtK returns P@k: the fraction of the first k ranked answers that
+// are in the ground truth. Fewer than k answers count as misses, matching
+// the paper's fixed-k evaluation.
+func PrecisionAtK(ranked []string, truth map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(ranked); i++ {
+		if truth[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// AveragePrecision returns AvgP over the top-k results:
+// Σ_{i=1..k} (P@i · rel_i) / |ground truth|, as defined in §VI-A. The
+// denominator is the full ground-truth size, which is why the paper's MAP
+// values look low for queries with large tables.
+func AveragePrecision(ranked []string, truth map[string]bool, k int) float64 {
+	if len(truth) == 0 || k <= 0 {
+		return 0
+	}
+	sum := 0.0
+	hits := 0
+	for i := 0; i < k && i < len(ranked); i++ {
+		if truth[ranked[i]] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(truth))
+}
+
+// Mean averages a slice; MAP is Mean over per-query AveragePrecision values.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// NDCG returns nDCG@k with the paper's gain formulation:
+// DCG_k = rel_1 + Σ_{i=2..k} rel_i/log2(i), normalized by the DCG of the
+// ideal reordering of the same top-k relevance list. All-irrelevant top-k
+// yields 0.
+func NDCG(ranked []string, truth map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rels := make([]float64, 0, k)
+	for i := 0; i < k && i < len(ranked); i++ {
+		if truth[ranked[i]] {
+			rels = append(rels, 1)
+		} else {
+			rels = append(rels, 0)
+		}
+	}
+	dcg := dcgOf(rels)
+	// Ideal: all the relevant results first.
+	ones := 0
+	for _, r := range rels {
+		if r > 0 {
+			ones++
+		}
+	}
+	ideal := make([]float64, len(rels))
+	for i := 0; i < ones; i++ {
+		ideal[i] = 1
+	}
+	idcg := dcgOf(ideal)
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func dcgOf(rels []float64) float64 {
+	total := 0.0
+	for i, r := range rels {
+		if i == 0 {
+			total += r
+			continue
+		}
+		total += r / math.Log2(float64(i+1))
+	}
+	return total
+}
+
+// PCC returns the Pearson correlation coefficient of two equal-length value
+// lists. ok is false when either list has zero variance (the paper's
+// "undefined" cases F12/F13) or the lists are empty/mismatched.
+func PCC(x, y []float64) (pcc float64, ok bool) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, false
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	varX := sxx - sx*sx/n
+	varY := syy - sy*sy/n
+	if varX <= 0 || varY <= 0 {
+		return 0, false
+	}
+	cov := sxy - sx*sy/n
+	return cov / math.Sqrt(varX*varY), true
+}

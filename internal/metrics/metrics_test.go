@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func truthOf(ss ...string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "x", "b", "y", "c"}
+	truth := truthOf("a", "b", "c")
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 0.5},
+		{3, 2.0 / 3},
+		{5, 3.0 / 5},
+		{10, 3.0 / 10}, // short list counts as misses
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtK(ranked, truth, c.k); !almost(got, c.want) {
+			t.Errorf("P@%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	ranked := []string{"a", "x", "b"}
+	truth := truthOf("a", "b", "c", "d")
+	// hits at ranks 1 and 3: (1/1 + 2/3) / 4
+	want := (1.0 + 2.0/3) / 4
+	if got := AveragePrecision(ranked, truth, 3); !almost(got, want) {
+		t.Errorf("AvgP = %v, want %v", got, want)
+	}
+	if AveragePrecision(ranked, map[string]bool{}, 3) != 0 {
+		t.Error("empty truth should yield 0")
+	}
+	if AveragePrecision(nil, truth, 3) != 0 {
+		t.Error("empty ranking should yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	ranked := []string{"a", "b", "x", "y"}
+	truth := truthOf("a", "b")
+	if got := NDCG(ranked, truth, 4); !almost(got, 1.0) {
+		t.Errorf("perfect prefix nDCG = %v, want 1", got)
+	}
+}
+
+func TestNDCGPenalizesLateHits(t *testing.T) {
+	truth := truthOf("a")
+	early := NDCG([]string{"a", "x", "y"}, truth, 3)
+	late := NDCG([]string{"x", "y", "a"}, truth, 3)
+	if !(early > late && late > 0) {
+		t.Errorf("nDCG ordering wrong: early=%v late=%v", early, late)
+	}
+	if !almost(early, 1.0) {
+		t.Errorf("hit at rank 1 should be ideal, got %v", early)
+	}
+}
+
+func TestNDCGPaperFormula(t *testing.T) {
+	// rel = [0,1,1]: DCG = 0 + 1/log2(2) + 1/log2(3); ideal [1,1,0]:
+	// IDCG = 1 + 1/log2(2).
+	truth := truthOf("a", "b")
+	got := NDCG([]string{"x", "a", "b"}, truth, 3)
+	want := (1/math.Log2(2) + 1/math.Log2(3)) / (1 + 1/math.Log2(2))
+	if !almost(got, want) {
+		t.Errorf("nDCG = %v, want %v", got, want)
+	}
+}
+
+func TestNDCGNoHits(t *testing.T) {
+	if NDCG([]string{"x", "y"}, truthOf("a"), 2) != 0 {
+		t.Error("no-hit nDCG should be 0")
+	}
+	if NDCG(nil, truthOf("a"), 0) != 0 {
+		t.Error("k=0 nDCG should be 0")
+	}
+}
+
+func TestPCCPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 20, 30, 40}
+	got, ok := PCC(x, y)
+	if !ok || !almost(got, 1) {
+		t.Errorf("PCC = %v,%v; want 1,true", got, ok)
+	}
+	neg := []float64{4, 3, 2, 1}
+	got, ok = PCC(x, neg)
+	if !ok || !almost(got, -1) {
+		t.Errorf("PCC = %v,%v; want -1,true", got, ok)
+	}
+}
+
+func TestPCCUndefined(t *testing.T) {
+	if _, ok := PCC([]float64{1, 1, 1}, []float64{1, 2, 3}); ok {
+		t.Error("zero-variance X should be undefined (paper's F12/F13 case)")
+	}
+	if _, ok := PCC([]float64{1, 2}, []float64{5, 5}); ok {
+		t.Error("zero-variance Y should be undefined")
+	}
+	if _, ok := PCC(nil, nil); ok {
+		t.Error("empty input should be undefined")
+	}
+	if _, ok := PCC([]float64{1}, []float64{1, 2}); ok {
+		t.Error("length mismatch should be undefined")
+	}
+}
+
+func TestPCCBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		// PCC must stay within [-1, 1] for arbitrary data.
+		xs := []float64{float64(seed % 13), float64(seed % 7), float64(seed % 31), float64((seed >> 3) % 17)}
+		ys := []float64{float64(seed % 5), float64(seed % 11), float64((seed >> 2) % 19), float64(seed % 23)}
+		p, ok := PCC(xs, ys)
+		if !ok {
+			return true
+		}
+		return p >= -1.0000001 && p <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: P@k and nDCG are monotone under improving a ranking by swapping
+// a relevant result earlier.
+func TestSwapImprovesMetrics(t *testing.T) {
+	truth := truthOf("r1", "r2")
+	worse := []string{"x", "r1", "y", "r2"}
+	better := []string{"r1", "x", "y", "r2"}
+	if PrecisionAtK(better, truth, 1) <= PrecisionAtK(worse, truth, 1) {
+		t.Error("P@1 should improve")
+	}
+	if AveragePrecision(better, truth, 4) <= AveragePrecision(worse, truth, 4) {
+		t.Error("AvgP should improve")
+	}
+	// Note: the paper's DCG gives positions 1 and 2 the same gain
+	// (rel_1 + rel_2/log2(2)), so a rank-2→rank-1 swap does not move nDCG;
+	// a rank-3→rank-2 swap must.
+	worse = []string{"x", "y", "r1"}
+	better = []string{"x", "r1", "y"}
+	if NDCG(better, truth, 3) <= NDCG(worse, truth, 3) {
+		t.Error("nDCG should improve when a hit moves from rank 3 to rank 2")
+	}
+}

@@ -1,0 +1,132 @@
+package mqg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gqbe/internal/graph"
+)
+
+// Merge combines the individual MQGs of multiple query tuples into one
+// merged, re-weighted MQG (§III-D). Each tuple's query entities are replaced
+// by virtual entities w1..wn (shared across tuples), vertices and edges are
+// unioned, and an edge that appears in c of the virtual MQGs receives weight
+// c·wmax(e), where wmax is its maximal weight among them. If the merged
+// graph exceeds the target size r, it is trimmed by the same greedy used for
+// single-tuple discovery (Alg. 1), with the virtual entities as the query
+// tuple.
+func Merge(mqgs []*MQG, r int) (*MQG, error) {
+	if len(mqgs) == 0 {
+		return nil, errors.New("mqg: no MQGs to merge")
+	}
+	n := len(mqgs[0].Tuple)
+	for _, m := range mqgs {
+		if len(m.Tuple) != n {
+			return nil, fmt.Errorf("mqg: cannot merge MQGs of different tuple sizes %d and %d", n, len(m.Tuple))
+		}
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("mqg: target size r = %d, need ≥ 1", r)
+	}
+
+	type agg struct {
+		count int
+		wmax  float64
+	}
+	merged := make(map[graph.Edge]*agg)
+	var order []graph.Edge // first-seen order for determinism
+	for _, m := range mqgs {
+		toVirtual := make(map[graph.NodeID]graph.NodeID, n)
+		for slot, v := range m.Tuple {
+			toVirtual[v] = VirtualNode(slot)
+		}
+		mapNode := func(v graph.NodeID) graph.NodeID {
+			if w, ok := toVirtual[v]; ok {
+				return w
+			}
+			return v
+		}
+		// Within one source MQG an edge must contribute at most once to the
+		// presence count even if two of its edges collapse onto the same
+		// virtual edge.
+		seen := make(map[graph.Edge]bool)
+		for i, e := range m.Sub.Edges {
+			ve := graph.Edge{Src: mapNode(e.Src), Label: e.Label, Dst: mapNode(e.Dst)}
+			a, ok := merged[ve]
+			if !ok {
+				a = &agg{}
+				merged[ve] = a
+				order = append(order, ve)
+			}
+			if !seen[ve] {
+				a.count++
+				seen[ve] = true
+			}
+			if w := m.Weights[i]; w > a.wmax {
+				a.wmax = w
+			}
+		}
+	}
+
+	edges := make([]graph.Edge, len(order))
+	weights := make([]float64, len(order))
+	copy(edges, order)
+	for i, e := range edges {
+		a := merged[e]
+		weights[i] = float64(a.count) * a.wmax
+	}
+
+	virtualTuple := make([]graph.NodeID, n)
+	for slot := range virtualTuple {
+		virtualTuple[slot] = VirtualNode(slot)
+	}
+
+	sub := graph.NewSubGraph(edges)
+	if len(sub.Edges) > r {
+		trimmed, err := discoverWeighted(sub, weights, virtualTuple, r)
+		if err != nil {
+			return nil, fmt.Errorf("mqg: trimming merged MQG: %w", err)
+		}
+		// Re-associate weights with the surviving edges.
+		kept := make([]float64, len(trimmed.Edges))
+		for i, e := range trimmed.Edges {
+			kept[i] = float64(merged[e].count) * merged[e].wmax
+		}
+		sub, weights = trimmed, kept
+	}
+	if !sub.IsWeaklyConnected(virtualTuple) {
+		return nil, errors.New("mqg: merged MQG is not weakly connected over the virtual entities")
+	}
+	out := &MQG{
+		Sub:     sub,
+		Weights: weights,
+		Depths:  edgeDepths(sub, virtualTuple),
+		Tuple:   virtualTuple,
+	}
+	return out, nil
+}
+
+// SortEdgesByWeight returns the MQG's edge indices in descending weight
+// order with a deterministic tie-break, used by displays and tests.
+func (m *MQG) SortEdgesByWeight() []int {
+	order := make([]int, len(m.Sub.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if m.Weights[i] != m.Weights[j] {
+			return m.Weights[i] > m.Weights[j]
+		}
+		ei, ej := m.Sub.Edges[i], m.Sub.Edges[j]
+		if ei.Src != ej.Src {
+			return ei.Src < ej.Src
+		}
+		if ei.Label != ej.Label {
+			return ei.Label < ej.Label
+		}
+		return ei.Dst < ej.Dst
+	})
+	return order
+}

@@ -1,0 +1,430 @@
+// Package mqg discovers the weighted maximal query graph (MQG) of §III: a
+// small, balanced, weakly connected subgraph of the reduced neighborhood
+// graph that maximizes total edge weight while containing all query entities
+// (Def. 5, Alg. 1). It also merges the MQGs of multiple query tuples into
+// one re-weighted MQG (§III-D).
+//
+// Finding the optimal MQG is NP-hard (Thm. 1, by reduction from constrained
+// Steiner network), so Alg. 1 is a greedy divide-and-conquer: the reduced
+// neighborhood graph is split into a core graph (paths between query
+// entities) and one individual subgraph per entity, and each part is trimmed
+// independently to a balanced share of the edge budget r by scanning edges
+// in descending weight order.
+package mqg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/stats"
+)
+
+// MQG is a discovered maximal query graph: a small weighted subgraph of the
+// data graph (or, for merged MQGs, of the virtual-entity graph) containing
+// all query entities.
+type MQG struct {
+	// Sub holds the MQG's edges. For merged multi-tuple MQGs, query
+	// entities are replaced by virtual nodes (negative IDs, see
+	// VirtualNode); all other node IDs are data-graph IDs.
+	Sub *graph.SubGraph
+	// Weights parallels Sub.Edges: the depth-discounted Eq. 8 weight for
+	// single-tuple MQGs, or c·wmax (§III-D) for merged MQGs.
+	Weights []float64
+	// Depths parallels Sub.Edges: the Eq. 7 edge depth, clamped to ≥1.
+	Depths []int
+	// Tuple is the query tuple this MQG captures: data-graph node IDs for a
+	// single-tuple MQG, virtual node IDs for a merged MQG.
+	Tuple []graph.NodeID
+}
+
+// TotalWeight returns the sum of all edge weights (the s_score of the MQG
+// itself).
+func (m *MQG) TotalWeight() float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	return total
+}
+
+// WeightOf returns the weight of edge e, or 0 if e is not in the MQG.
+func (m *MQG) WeightOf(e graph.Edge) float64 {
+	for i, x := range m.Sub.Edges {
+		if x == e {
+			return m.Weights[i]
+		}
+	}
+	return 0
+}
+
+// IncidentCount returns |E(u)|: the number of MQG edges incident on u,
+// used by the content-score match function (Eq. 6).
+func (m *MQG) IncidentCount(u graph.NodeID) int {
+	n := 0
+	for _, e := range m.Sub.Edges {
+		if e.Src == u || e.Dst == u {
+			n++
+		}
+	}
+	return n
+}
+
+// VirtualNode returns the virtual entity node standing for tuple slot `slot`
+// (0-based) in a merged MQG. Virtual IDs are negative so they can never
+// collide with data-graph nodes and never count as identical node matches
+// during content scoring.
+func VirtualNode(slot int) graph.NodeID { return graph.NodeID(-1 - slot) }
+
+// IsVirtual reports whether v is a virtual entity node.
+func IsVirtual(v graph.NodeID) bool { return v < 0 }
+
+// VirtualSlot returns the tuple slot a virtual node stands for.
+func VirtualSlot(v graph.NodeID) int { return int(-1 - v) }
+
+// NodeName renders v for humans: data nodes by entity name, virtual nodes as
+// w1, w2, ... as in the paper's Fig. 8.
+func NodeName(g *graph.Graph, v graph.NodeID) string {
+	if IsVirtual(v) {
+		return fmt.Sprintf("w%d", VirtualSlot(v)+1)
+	}
+	return g.Name(v)
+}
+
+// Discover runs Alg. 1 over the reduced neighborhood graph: it decomposes
+// the graph into core and per-entity subgraphs, greedily trims each to a
+// balanced share of the edge budget r, unions the results, and re-weights
+// the surviving edges with the depth-discounted Eq. 8.
+func Discover(st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r int) (*MQG, error) {
+	if len(tuple) == 0 {
+		return nil, errors.New("mqg: empty query tuple")
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("mqg: target size r = %d, need ≥ 1", r)
+	}
+	if reduced == nil || reduced.NumEdges() == 0 {
+		return nil, errors.New("mqg: empty reduced neighborhood graph")
+	}
+	if !reduced.ContainsAll(tuple) {
+		return nil, errors.New("mqg: reduced neighborhood graph does not contain all query entities")
+	}
+	weights := make([]float64, len(reduced.Edges))
+	for i, e := range reduced.Edges {
+		weights[i] = st.Weight(e) // Eq. 2 while discovering
+	}
+	sub, err := discoverWeighted(reduced, weights, tuple, r)
+	if err != nil {
+		return nil, err
+	}
+	m := &MQG{Sub: sub, Tuple: append([]graph.NodeID(nil), tuple...)}
+	m.Depths = edgeDepths(sub, tuple)
+	m.Weights = make([]float64, len(sub.Edges))
+	for i, e := range sub.Edges {
+		m.Weights[i] = st.DepthWeight(e, m.Depths[i]) // Eq. 8 for scoring
+	}
+	return m, nil
+}
+
+// discoverWeighted is the weight-agnostic body of Alg. 1, shared by Discover
+// and by Merge's trimming step.
+func discoverWeighted(reduced *graph.SubGraph, weights []float64, tuple []graph.NodeID, r int) (*graph.SubGraph, error) {
+	parts := decompose(reduced, weights, tuple)
+	m := r / len(parts) // line 1 of Alg. 1: balanced per-component budget
+	if m < 1 {
+		m = 1
+	}
+	var union []graph.Edge
+	for _, p := range parts {
+		ms := greedyTrim(p.edges, p.weights, p.required, m)
+		union = append(union, ms.Edges...)
+	}
+	sub := graph.NewSubGraph(union)
+	if !sub.IsWeaklyConnected(tuple) {
+		// The decomposition argument guarantees connectivity whenever the
+		// reduced graph is connected; this is a defensive fallback that
+		// re-runs the greedy over the whole graph as one core.
+		sub = greedyTrim(reduced.Edges, weights, tuple, r)
+		if !sub.IsWeaklyConnected(tuple) {
+			return nil, errors.New("mqg: could not assemble a weakly connected MQG")
+		}
+	}
+	return sub, nil
+}
+
+// part is one unit of the divide-and-conquer: an edge set, its weights, and
+// the query entities it must keep connected.
+type part struct {
+	edges    []graph.Edge
+	weights  []float64
+	required []graph.NodeID
+}
+
+// decompose splits the reduced neighborhood graph into the core graph and
+// one individual subgraph per query entity (§III-A). Removing the query
+// entities leaves components; a component adjacent to exactly one entity
+// v_i (plus its attachment edges) forms v_i's individual subgraph — its
+// nodes connect to other entities only through v_i. Components adjacent to
+// two or more entities, and direct entity-entity edges, form the core.
+func decompose(reduced *graph.SubGraph, weights []float64, tuple []graph.NodeID) []part {
+	isEntity := make(map[graph.NodeID]bool, len(tuple))
+	for _, v := range tuple {
+		isEntity[v] = true
+	}
+	// Union non-entity endpoints to get components of (reduced − entities).
+	uf := graph.NewUnionFind()
+	for _, e := range reduced.Edges {
+		if !isEntity[e.Src] && !isEntity[e.Dst] {
+			uf.Union(e.Src, e.Dst)
+		}
+	}
+	// adjacentEntities[rep] = set of entities with an edge into the component.
+	adjacentEntities := make(map[graph.NodeID]map[graph.NodeID]bool)
+	noteAdjacent := func(compNode, entity graph.NodeID) {
+		rep := uf.Find(compNode)
+		s, ok := adjacentEntities[rep]
+		if !ok {
+			s = make(map[graph.NodeID]bool, 2)
+			adjacentEntities[rep] = s
+		}
+		s[entity] = true
+	}
+	for _, e := range reduced.Edges {
+		srcEnt, dstEnt := isEntity[e.Src], isEntity[e.Dst]
+		switch {
+		case srcEnt && !dstEnt:
+			noteAdjacent(e.Dst, e.Src)
+		case !srcEnt && dstEnt:
+			noteAdjacent(e.Src, e.Dst)
+		}
+	}
+	// Assign each edge to core or to one entity's individual subgraph.
+	entityIndex := make(map[graph.NodeID]int, len(tuple))
+	for i, v := range tuple {
+		entityIndex[v] = i
+	}
+	core := part{required: tuple}
+	indiv := make([]part, len(tuple))
+	for i, v := range tuple {
+		indiv[i].required = []graph.NodeID{v}
+	}
+	soleEntity := func(compNode graph.NodeID) (graph.NodeID, bool) {
+		s := adjacentEntities[uf.Find(compNode)]
+		if len(s) != 1 {
+			return 0, false
+		}
+		for v := range s {
+			return v, true
+		}
+		return 0, false
+	}
+	for i, e := range reduced.Edges {
+		srcEnt, dstEnt := isEntity[e.Src], isEntity[e.Dst]
+		var owner graph.NodeID
+		var individual bool
+		switch {
+		case srcEnt && dstEnt:
+			// direct entity-entity edge: core by definition
+		case srcEnt || dstEnt:
+			comp := e.Dst
+			entity := e.Src
+			if dstEnt {
+				comp, entity = e.Src, e.Dst
+			}
+			if v, ok := soleEntity(comp); ok && v == entity {
+				owner, individual = v, true
+			}
+		default:
+			if v, ok := soleEntity(e.Src); ok {
+				owner, individual = v, true
+			}
+		}
+		if individual {
+			j := entityIndex[owner]
+			indiv[j].edges = append(indiv[j].edges, e)
+			indiv[j].weights = append(indiv[j].weights, weights[i])
+		} else {
+			core.edges = append(core.edges, e)
+			core.weights = append(core.weights, weights[i])
+		}
+	}
+	parts := make([]part, 0, len(tuple)+1)
+	if len(core.edges) > 0 {
+		parts = append(parts, core)
+	}
+	for _, p := range indiv {
+		if len(p.edges) > 0 {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// greedyTrim is the greedy search of Alg. 1 lines 7–21: scan edges in
+// descending weight order, maintaining weakly connected components
+// incrementally, and return M_s — the component containing all required
+// entities — for the smallest s with |E(M_s)| = m; failing an exact hit,
+// the largest size below m; failing that, the smallest size above m.
+// |E(M_s)| is monotone nondecreasing in s, so one forward scan suffices.
+func greedyTrim(edges []graph.Edge, weights []float64, required []graph.NodeID, m int) *graph.SubGraph {
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if weights[i] != weights[j] {
+			return weights[i] > weights[j]
+		}
+		// Deterministic tie-break on edge identity.
+		ei, ej := edges[i], edges[j]
+		if ei.Src != ej.Src {
+			return ei.Src < ej.Src
+		}
+		if ei.Label != ej.Label {
+			return ei.Label < ej.Label
+		}
+		return ei.Dst < ej.Dst
+	})
+
+	uf := graph.NewUnionFind()
+	// Seed required nodes so connectivity checks see them even before any
+	// of their edges arrive.
+	for _, v := range required {
+		uf.Find(v)
+	}
+	sExact, sBelow, sAbove := -1, -1, -1
+	sizeBelow := -1
+	for s := 1; s <= len(order); s++ {
+		uf.AddEdge(edges[order[s-1]])
+		if !uf.AllSameSet(required) {
+			continue
+		}
+		size := uf.EdgeCount(required[0])
+		switch {
+		case size == m:
+			sExact = s
+		case size < m:
+			if size > sizeBelow {
+				sizeBelow = size
+				sBelow = s
+			}
+		case size > m:
+			sAbove = s
+		}
+		if sExact >= 0 || sAbove >= 0 {
+			break
+		}
+	}
+	s := sExact
+	if s < 0 {
+		if sBelow >= 0 {
+			s = sBelow
+		} else {
+			s = sAbove
+		}
+	}
+	if s < 0 {
+		// Required nodes never became connected; emit nothing.
+		return &graph.SubGraph{}
+	}
+	// Rebuild the component at exactly s edges and extract M_s.
+	uf = graph.NewUnionFind()
+	for _, v := range required {
+		uf.Find(v)
+	}
+	for i := 0; i < s; i++ {
+		uf.AddEdge(edges[order[i]])
+	}
+	root := uf.Find(required[0])
+	var ms []graph.Edge
+	for i := 0; i < s; i++ {
+		e := edges[order[i]]
+		if uf.Find(e.Src) == root {
+			ms = append(ms, e)
+		}
+	}
+	// The s2 case ("smallest size above m") can overshoot badly when the
+	// final edge merges two already-large components — for multi-entity
+	// cores the jump can be several times m, which makes the query lattice
+	// intractable downstream. Def. 5 asks for exactly m edges, so prune
+	// back: repeatedly drop the lightest edge whose removal keeps the
+	// required entities weakly connected (discarding any fragment that
+	// splits off), until the budget is met.
+	if len(ms) > m {
+		ms = pruneBack(ms, weightOf(edges, weights), required, m)
+	}
+	return graph.NewSubGraph(ms)
+}
+
+// weightOf builds an edge→weight lookup for pruneBack.
+func weightOf(edges []graph.Edge, weights []float64) map[graph.Edge]float64 {
+	w := make(map[graph.Edge]float64, len(edges))
+	for i, e := range edges {
+		w[e] = weights[i]
+	}
+	return w
+}
+
+// pruneBack trims ms to at most m edges by reverse greedy deletion: at each
+// step the lightest edge whose removal leaves the required entities in one
+// weakly connected component is deleted (together with any fragment the
+// deletion disconnects). If no edge is removable (every deletion would
+// disconnect a required entity), the current graph is returned as is.
+func pruneBack(ms []graph.Edge, weight map[graph.Edge]float64, required []graph.NodeID, m int) []graph.Edge {
+	cur := graph.NewSubGraph(ms)
+	for cur.NumEdges() > m {
+		// Try candidates in ascending weight order.
+		idx := make([]int, len(cur.Edges))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			wa, wb := weight[cur.Edges[idx[a]]], weight[cur.Edges[idx[b]]]
+			if wa != wb {
+				return wa < wb
+			}
+			ea, eb := cur.Edges[idx[a]], cur.Edges[idx[b]]
+			if ea.Src != eb.Src {
+				return ea.Src < eb.Src
+			}
+			if ea.Label != eb.Label {
+				return ea.Label < eb.Label
+			}
+			return ea.Dst < eb.Dst
+		})
+		removed := false
+		for _, i := range idx {
+			comp := cur.WithoutEdge(i).ComponentContaining(required)
+			if comp != nil {
+				cur = comp
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return cur.Edges
+}
+
+// edgeDepths computes the Eq. 7 depth of every MQG edge: the smallest hop
+// distance from either endpoint to any query entity within the MQG, clamped
+// to ≥1 (edges incident on an entity have raw depth 0; the clamp keeps
+// Eq. 8 finite and gives them maximum weight).
+func edgeDepths(sub *graph.SubGraph, tuple []graph.NodeID) []int {
+	dist := sub.UndirectedDistances(tuple)
+	depths := make([]int, len(sub.Edges))
+	for i, e := range sub.Edges {
+		d := dist[e.Src]
+		if dv := dist[e.Dst]; dv < d {
+			d = dv
+		}
+		if d < 1 {
+			d = 1
+		}
+		depths[i] = d
+	}
+	return depths
+}

@@ -1,0 +1,473 @@
+// Package ness reimplements the NESS-style graph-querying comparator the
+// paper evaluates against (Khan et al., SIGMOD'11), adapted exactly as §VI
+// describes:
+//
+//   - the query graph (GQBE's MQG) has unlabeled nodes — every node is a
+//     variable, including the ones standing for the query entities;
+//   - a data node is a candidate for query node v only if it has at least
+//     one incident edge bearing the label (and direction) of an edge
+//     incident on v in the query graph;
+//   - a candidate's score is the similarity between its neighborhood
+//     feature vector and the query node's, with features propagated from
+//     neighbors at distance ≤ h discounted by α per hop, refined by an
+//     iterative process that drops candidates whose neighbors do not
+//     support them;
+//   - one query node is chosen as the pivot; top candidates for the other
+//     entity nodes join a tuple only if they lie within the neighborhood of
+//     the pivot's candidate.
+//
+// Unlike GQBE, NESS weighs all nodes and edges equally and never requires
+// answer entities to be connected by the same paths between entities — the
+// two properties the paper credits for GQBE's ~2× accuracy advantage.
+package ness
+
+import (
+	"errors"
+	"sort"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/mqg"
+	"gqbe/internal/storage"
+)
+
+// Options tunes the matcher.
+type Options struct {
+	// K is the number of answer tuples to return.
+	K int
+	// H is the neighborhood radius of the feature vectors (default 2).
+	H int
+	// Alpha is the per-hop propagation discount (default 0.5).
+	Alpha float64
+	// Iterations bounds the refinement loop (default 3).
+	Iterations int
+	// Pool is the number of top candidates kept per query node for tuple
+	// assembly (default max(50, 2K)).
+	Pool int
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.H <= 0 {
+		o.H = 2
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.5
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 3
+	}
+	if o.Pool <= 0 {
+		o.Pool = 2 * o.K
+		if o.Pool < 50 {
+			o.Pool = 50
+		}
+	}
+}
+
+// Answer is one ranked NESS answer tuple.
+type Answer struct {
+	Tuple []graph.NodeID
+	Score float64
+}
+
+// Result carries the answers plus work counters for efficiency comparisons.
+type Result struct {
+	Answers []Answer
+	// CandidatesScored counts candidate-node similarity evaluations, the
+	// dominant cost of NESS ("intersection size matters more than edge
+	// cardinality", §VI-D).
+	CandidatesScored int
+}
+
+// feature is one neighborhood-vector dimension: an edge label seen at some
+// orientation. Depth contributes via the α^(depth−1) weight, not the key, so
+// matching is per label/direction as in NESS's neighborhood vectors.
+type feature struct {
+	label graph.LabelID
+	out   bool
+}
+
+type vector map[feature]float64
+
+// Search matches the MQG against the data graph and returns the top-k
+// answer tuples, excluding the query tuples themselves.
+func Search(g *graph.Graph, store *storage.Store, m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	opts.fill()
+	if m == nil || len(m.Sub.Edges) == 0 {
+		return nil, errors.New("ness: empty query graph")
+	}
+	res := &Result{}
+
+	// --- query-side vectors, computed within the MQG ---------------------
+	qadj := m.Sub.Adjacency()
+	qvec := func(v graph.NodeID) vector {
+		return queryVector(m, qadj, v, opts.H, opts.Alpha)
+	}
+
+	// --- candidate generation (label filter) -----------------------------
+	queryNodes := m.Sub.Nodes()
+	cands := make(map[graph.NodeID]map[graph.NodeID]float64, len(queryNodes))
+	for _, v := range queryNodes {
+		set := make(map[graph.NodeID]float64)
+		for _, ei := range qadj[v] {
+			e := m.Sub.Edges[ei]
+			t, ok := store.Table(e.Label)
+			if !ok {
+				continue
+			}
+			if e.Src == v { // outgoing from v: candidates are subjects
+				for _, p := range t.Pairs() {
+					set[p.Subj] = 0
+				}
+			}
+			if e.Dst == v { // incoming into v: candidates are objects
+				for _, p := range t.Pairs() {
+					set[p.Obj] = 0
+				}
+			}
+		}
+		cands[v] = set
+	}
+
+	// --- scoring ----------------------------------------------------------
+	// Candidate sets of different query nodes overlap heavily (every person
+	// is a candidate for every person-shaped node), so data-node vectors
+	// are memoized across query nodes within this search.
+	vecCache := make(map[graph.NodeID]vector)
+	cachedVec := func(c graph.NodeID) vector {
+		if v, ok := vecCache[c]; ok {
+			return v
+		}
+		v := dataVector(g, c, opts.H, opts.Alpha)
+		vecCache[c] = v
+		return v
+	}
+	for _, v := range queryNodes {
+		qv := qvec(v)
+		for c := range cands[v] {
+			cands[v][c] = similarity(qv, cachedVec(c))
+			res.CandidatesScored++
+		}
+	}
+
+	// --- iterative refinement (neighbor support) --------------------------
+	// NESS is an approximate matcher: a missing neighbor match lowers a
+	// candidate's score rather than disqualifying it. Each round scales the
+	// score by the fraction of incident query edges the candidate can
+	// support against the surviving candidate sets, and drops candidates
+	// with no support at all; dropping changes support, hence the loop.
+	base := make(map[graph.NodeID]map[graph.NodeID]float64, len(queryNodes))
+	for _, v := range queryNodes {
+		base[v] = make(map[graph.NodeID]float64, len(cands[v]))
+		for c, s := range cands[v] {
+			base[v][c] = s
+		}
+	}
+	for it := 0; it < opts.Iterations; it++ {
+		changed := false
+		for _, v := range queryNodes {
+			for c := range cands[v] {
+				sf := supportFraction(g, m, qadj, cands, v, c)
+				if sf == 0 {
+					delete(cands[v], c)
+					changed = true
+					continue
+				}
+				cands[v][c] = base[v][c] * sf
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// --- pivot selection and tuple assembly -------------------------------
+	entities := m.Tuple
+	// Pivot: the entity node with the fewest surviving candidates.
+	pivotIdx := 0
+	for i := 1; i < len(entities); i++ {
+		if len(cands[entities[i]]) < len(cands[entities[pivotIdx]]) {
+			pivotIdx = i
+		}
+	}
+	pivot := entities[pivotIdx]
+
+	top := func(v graph.NodeID, n int) []scored {
+		all := make([]scored, 0, len(cands[v]))
+		for c, s := range cands[v] {
+			all = append(all, scored{c, s})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].score != all[j].score {
+				return all[i].score > all[j].score
+			}
+			return all[i].node < all[j].node
+		})
+		if len(all) > n {
+			all = all[:n]
+		}
+		return all
+	}
+
+	excluded := make(map[string]bool, len(exclude))
+	for _, t := range exclude {
+		excluded[key(t)] = true
+	}
+
+	var answers []Answer
+	seen := make(map[string]bool)
+	if len(entities) == 1 {
+		for _, s := range top(pivot, opts.Pool) {
+			tuple := []graph.NodeID{s.node}
+			k := key(tuple)
+			if excluded[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			answers = append(answers, Answer{Tuple: tuple, Score: s.score})
+		}
+	} else {
+		pivotTop := top(pivot, opts.Pool)
+		otherTops := make(map[graph.NodeID][]scored, len(entities)-1)
+		for _, v := range entities {
+			if v != pivot {
+				otherTops[v] = top(v, opts.Pool)
+			}
+		}
+		for _, ps := range pivotTop {
+			// Candidates for the other entities must lie within the
+			// pivot candidate's h-hop neighborhood.
+			hood := g.UndirectedDistances([]graph.NodeID{ps.node}, opts.H)
+			assemble(entities, pivotIdx, ps, otherTops, hood, func(tuple []graph.NodeID, score float64) {
+				k := key(tuple)
+				if excluded[k] || seen[k] {
+					return
+				}
+				seen[k] = true
+				answers = append(answers, Answer{Tuple: append([]graph.NodeID(nil), tuple...), Score: score})
+			})
+		}
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return key(answers[i].Tuple) < key(answers[j].Tuple)
+	})
+	if len(answers) > opts.K {
+		answers = answers[:opts.K]
+	}
+	res.Answers = answers
+	return res, nil
+}
+
+// scored pairs a candidate data node with its similarity score.
+type scored struct {
+	node  graph.NodeID
+	score float64
+}
+
+// assemble enumerates tuples around one pivot candidate: every combination
+// of in-neighborhood top candidates for the remaining entity slots, kept
+// injective.
+func assemble(entities []graph.NodeID, pivotIdx int, pivotCand scored, otherTops map[graph.NodeID][]scored, hood map[graph.NodeID]int, emit func([]graph.NodeID, float64)) {
+	tuple := make([]graph.NodeID, len(entities))
+	tuple[pivotIdx] = pivotCand.node
+	var rec func(slot int, score float64)
+	rec = func(slot int, score float64) {
+		if slot == len(entities) {
+			emit(tuple, score)
+			return
+		}
+		if slot == pivotIdx {
+			rec(slot+1, score)
+			return
+		}
+		for _, c := range otherTops[entities[slot]] {
+			if _, ok := hood[c.node]; !ok {
+				continue
+			}
+			dup := false
+			for i := 0; i < slot; i++ {
+				if tuple[i] == c.node {
+					dup = true
+					break
+				}
+			}
+			if tuple[pivotIdx] == c.node {
+				dup = true
+			}
+			if dup {
+				continue
+			}
+			tuple[slot] = c.node
+			rec(slot+1, score+c.score)
+		}
+	}
+	rec(0, pivotCand.score)
+}
+
+// queryVector builds the feature vector of a query node within the MQG.
+func queryVector(m *mqg.MQG, adj map[graph.NodeID][]int, v graph.NodeID, h int, alpha float64) vector {
+	vec := make(vector)
+	type frame struct {
+		node  graph.NodeID
+		depth int
+	}
+	visited := map[graph.NodeID]bool{v: true}
+	queue := []frame{{v, 0}}
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
+		if f.depth == h {
+			continue
+		}
+		w := alphaPow(alpha, f.depth)
+		for _, ei := range adj[f.node] {
+			e := m.Sub.Edges[ei]
+			out := e.Src == f.node
+			other := e.Dst
+			if !out {
+				other = e.Src
+			}
+			vec[feature{e.Label, out}] += w
+			if !visited[other] {
+				visited[other] = true
+				queue = append(queue, frame{other, f.depth + 1})
+			}
+		}
+	}
+	return vec
+}
+
+// dataVector builds the feature vector of a data node.
+func dataVector(g *graph.Graph, v graph.NodeID, h int, alpha float64) vector {
+	vec := make(vector)
+	type frame struct {
+		node  graph.NodeID
+		depth int
+	}
+	visited := map[graph.NodeID]bool{v: true}
+	queue := []frame{{v, 0}}
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
+		if f.depth == h {
+			continue
+		}
+		w := alphaPow(alpha, f.depth)
+		for _, a := range g.OutArcs(f.node) {
+			vec[feature{a.Label, true}] += w
+			if !visited[a.Node] {
+				visited[a.Node] = true
+				queue = append(queue, frame{a.Node, f.depth + 1})
+			}
+		}
+		for _, a := range g.InArcs(f.node) {
+			vec[feature{a.Label, false}] += w
+			if !visited[a.Node] {
+				visited[a.Node] = true
+				queue = append(queue, frame{a.Node, f.depth + 1})
+			}
+		}
+	}
+	return vec
+}
+
+func alphaPow(alpha float64, depth int) float64 {
+	w := 1.0
+	for i := 0; i < depth; i++ {
+		w *= alpha
+	}
+	return w
+}
+
+// similarity is the containment similarity of NESS: how much of the query
+// vector the candidate covers, Σ min(q_f, c_f) / Σ q_f.
+func similarity(q, c vector) float64 {
+	var num, den float64
+	for f, qw := range q {
+		den += qw
+		cw := c[f]
+		if cw < qw {
+			num += cw
+		} else {
+			num += qw
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// supportFraction returns the fraction of MQG edges incident on query node v
+// for which candidate c has a data edge with the same label and direction
+// whose far end is itself a surviving candidate for the far query node —
+// NESS's neighborhood-consistency signal.
+func supportFraction(g *graph.Graph, m *mqg.MQG, qadj map[graph.NodeID][]int, cands map[graph.NodeID]map[graph.NodeID]float64, v, c graph.NodeID) float64 {
+	total, ok := 0, 0
+	check := func(arcs []graph.Arc, label graph.LabelID, far graph.NodeID) bool {
+		for _, a := range arcs {
+			if a.Label != label {
+				continue
+			}
+			if _, isCand := cands[far][a.Node]; isCand {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ei := range qadj[v] {
+		e := m.Sub.Edges[ei]
+		if e.Src == v {
+			total++
+			if check(g.OutArcs(c), e.Label, e.Dst) {
+				ok++
+			}
+		}
+		if e.Dst == v {
+			total++
+			if check(g.InArcs(c), e.Label, e.Src) {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+func key(t []graph.NodeID) string {
+	s := ""
+	for i, v := range t {
+		if i > 0 {
+			s += ","
+		}
+		s += itoa(int(v))
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

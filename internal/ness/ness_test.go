@@ -1,0 +1,215 @@
+package ness
+
+import (
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/mqg"
+	"gqbe/internal/neighborhood"
+	"gqbe/internal/stats"
+	"gqbe/internal/storage"
+	"gqbe/internal/testkg"
+)
+
+func fixture(t *testing.T, names ...string) (*graph.Graph, *storage.Store, *mqg.MQG, [][]graph.NodeID) {
+	t.Helper()
+	g := testkg.Fig1()
+	store := storage.Build(g)
+	st := stats.New(store)
+	tuple := testkg.Tuple(g, names...)
+	nres, err := neighborhood.Extract(g, tuple, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mqg.Discover(st, nres.Reduced, tuple, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, store, m, [][]graph.NodeID{tuple}
+}
+
+func answerSet(g *graph.Graph, res *Result) map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range res.Answers {
+		s := ""
+		for i, v := range a.Tuple {
+			if i > 0 {
+				s += "|"
+			}
+			s += g.Name(v)
+		}
+		out[s] = true
+	}
+	return out
+}
+
+func TestSearchFindsFounderPairs(t *testing.T) {
+	g, store, m, exclude := fixture(t, "Jerry Yang", "Yahoo!")
+	res, err := Search(g, store, m, exclude, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	got := answerSet(g, res)
+	if got["Jerry Yang|Yahoo!"] {
+		t.Error("query tuple leaked")
+	}
+	found := 0
+	for _, want := range []string{"Steve Wozniak|Apple Inc.", "Sergey Brin|Google", "Bill Gates|Microsoft", "David Filo|Yahoo!"} {
+		if got[want] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("NESS found only %d founder pairs: %v", found, got)
+	}
+}
+
+func TestScoresDescendingAndBounded(t *testing.T) {
+	g, store, m, exclude := fixture(t, "Jerry Yang", "Yahoo!")
+	res, err := Search(g, store, m, exclude, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Answers {
+		if i > 0 && res.Answers[i-1].Score < a.Score {
+			t.Fatal("answers not sorted")
+		}
+		// Tuple similarity is a sum over ≤ |tuple| containment scores ≤ 1.
+		if a.Score < 0 || a.Score > float64(len(a.Tuple)) {
+			t.Errorf("score out of range: %v", a.Score)
+		}
+	}
+	if res.CandidatesScored == 0 {
+		t.Error("no candidates scored")
+	}
+}
+
+func TestSingleEntityQuery(t *testing.T) {
+	g, store, m, exclude := fixture(t, "Stanford")
+	res, err := Search(g, store, m, exclude, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		if len(a.Tuple) != 1 {
+			t.Fatalf("tuple size %d", len(a.Tuple))
+		}
+		if g.Name(a.Tuple[0]) == "Stanford" {
+			t.Error("query entity leaked")
+		}
+	}
+}
+
+func TestLabelFilterRestrictsCandidates(t *testing.T) {
+	// A candidate for the company slot must have an incoming founded edge or
+	// an outgoing headquartered_in edge etc. — cities must never appear in
+	// the company slot of a tuple.
+	g, store, m, exclude := fixture(t, "Jerry Yang", "Yahoo!")
+	res, err := Search(g, store, m, exclude, Options{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		name := g.Name(a.Tuple[1])
+		for _, city := range []string{"Sunnyvale", "Cupertino", "California", "USA", "San Jose"} {
+			if name == city {
+				t.Errorf("place %s appeared in the company slot", name)
+			}
+		}
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	q := vector{{0, true}: 2, {1, false}: 1}
+	c := vector{{0, true}: 1, {1, false}: 5}
+	// min(2,1)+min(1,5) over 3 = 2/3
+	if got := similarity(q, c); got < 0.66 || got > 0.67 {
+		t.Errorf("similarity = %v, want 2/3", got)
+	}
+	if similarity(vector{}, c) != 0 {
+		t.Error("empty query vector should score 0")
+	}
+	if similarity(q, q) != 1 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestRefinementDropsUnsupportedCandidates(t *testing.T) {
+	// Two disconnected founded edges plus one hq edge: a founder whose
+	// company has no headquarters is unsupported for the full MQG.
+	g := graph.New()
+	g.AddEdge("q1", "founded", "q2")
+	g.AddEdge("q2", "hq", "cityQ")
+	g.AddEdge("a1", "founded", "a2")
+	g.AddEdge("a2", "hq", "cityA")
+	g.AddEdge("b1", "founded", "b2") // b2 has no hq edge
+	store := storage.Build(g)
+	founded, _ := g.Label("founded")
+	hq, _ := g.Label("hq")
+	m := &mqg.MQG{
+		Sub: graph.NewSubGraph([]graph.Edge{
+			{Src: g.MustNode("q1"), Label: founded, Dst: g.MustNode("q2")},
+			{Src: g.MustNode("q2"), Label: hq, Dst: g.MustNode("cityQ")},
+		}),
+		Weights: []float64{2, 1},
+		Depths:  []int{1, 1},
+		Tuple:   []graph.NodeID{g.MustNode("q1"), g.MustNode("q2")},
+	}
+	tuple := []graph.NodeID{g.MustNode("q1"), g.MustNode("q2")}
+	res, err := Search(g, store, m, [][]graph.NodeID{tuple}, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerSet(g, res)
+	if !got["a1|a2"] {
+		t.Errorf("supported answer missing: %v", got)
+	}
+	// NESS is approximate: the partially-supported pair stays but must rank
+	// strictly below the fully supported one.
+	var aScore, bScore float64
+	for _, a := range res.Answers {
+		name := g.Name(a.Tuple[0])
+		if name == "a1" {
+			aScore = a.Score
+		}
+		if name == "b1" {
+			bScore = a.Score
+		}
+	}
+	if got["b1|b2"] && bScore >= aScore {
+		t.Errorf("partially-supported pair scored %v, not below fully-supported %v", bScore, aScore)
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.K != 10 || o.H != 2 || o.Alpha != 0.5 || o.Iterations != 3 || o.Pool != 50 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o = Options{K: 40}
+	o.fill()
+	if o.Pool != 80 {
+		t.Errorf("Pool = %d, want 2K", o.Pool)
+	}
+}
+
+func TestEmptyQueryGraph(t *testing.T) {
+	g := testkg.Fig1()
+	store := storage.Build(g)
+	if _, err := Search(g, store, nil, nil, Options{}); err == nil {
+		t.Error("nil MQG accepted")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", -3: "-3", 12345: "12345", -120: "-120"}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package scoring implements the answer scoring of §IV-B: the structure
+// score s_score(Q) (total edge weight of the query graph), the content score
+// c_score_Q(A) (extra credit for identical matching nodes, Eq. 6), and their
+// sum (Eq. 5). Structure scores live on the lattice; this package adds the
+// content side, which needs the concrete answer rows.
+package scoring
+
+import (
+	"gqbe/internal/exec"
+	"gqbe/internal/lattice"
+	"gqbe/internal/mqg"
+)
+
+// Scorer computes answer-graph scores for one query lattice.
+type Scorer struct {
+	lat *lattice.Lattice
+	ev  *exec.Evaluator
+	// incident[slot] is |E(u)| — the number of MQG edges incident on the
+	// query node in that slot — the denominator of Eq. 6.
+	incident []int
+}
+
+// New builds a scorer for the lattice/evaluator pair.
+func New(lat *lattice.Lattice, ev *exec.Evaluator) *Scorer {
+	s := &Scorer{lat: lat, ev: ev, incident: make([]int, ev.NumSlots())}
+	for i := range lat.M.Sub.Edges {
+		ss, ds := ev.EdgeSlots(i)
+		s.incident[ss]++
+		if ds != ss {
+			s.incident[ds]++
+		}
+	}
+	return s
+}
+
+// SScore returns s_score(Q): the total weight of Q's edges.
+func (s *Scorer) SScore(q lattice.EdgeSet) float64 { return s.lat.SScore(q) }
+
+// CScore returns c_score_Q(A) for the answer graph bound in row: the sum of
+// match(e, e') over Q's edges (Eq. 6). A query node u matches identically
+// when the row binds its slot to u itself; virtual entities (negative IDs)
+// can never match identically.
+func (s *Scorer) CScore(q lattice.EdgeSet, row exec.Row) float64 {
+	total := 0.0
+	for _, i := range s.lat.EdgeIndices(q) {
+		ss, ds := s.ev.EdgeSlots(i)
+		u, v := s.ev.NodeAt(ss), s.ev.NodeAt(ds)
+		uMatch := !mqg.IsVirtual(u) && row[ss] == u
+		vMatch := !mqg.IsVirtual(v) && row[ds] == v
+		w := s.lat.M.Weights[i]
+		switch {
+		case uMatch && vMatch:
+			den := s.incident[ss]
+			if s.incident[ds] < den {
+				den = s.incident[ds]
+			}
+			total += w / float64(den)
+		case uMatch:
+			total += w / float64(s.incident[ss])
+		case vMatch:
+			total += w / float64(s.incident[ds])
+		}
+	}
+	return total
+}
+
+// Full returns score_Q(A) = s_score(Q) + c_score_Q(A) (Eq. 5).
+func (s *Scorer) Full(q lattice.EdgeSet, row exec.Row) float64 {
+	return s.SScore(q) + s.CScore(q, row)
+}
+
+// IncidentCount exposes |E(u)| for the node in a slot (for tests).
+func (s *Scorer) IncidentCount(slot int) int { return s.incident[slot] }

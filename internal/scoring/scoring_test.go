@@ -1,0 +1,176 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+
+	"gqbe/internal/exec"
+	"gqbe/internal/graph"
+	"gqbe/internal/lattice"
+	"gqbe/internal/mqg"
+	"gqbe/internal/storage"
+	"gqbe/internal/testkg"
+)
+
+// fixture builds the Fig. 5(a)-style query graph with weights 4,3,2,1:
+//
+//	0: Jerry Yang -founded-> Yahoo!          (w=4)
+//	1: Yahoo! -headquartered_in-> Sunnyvale  (w=3)
+//	2: Sunnyvale -located_in-> California    (w=2)
+//	3: Jerry Yang -places_lived-> San Jose   (w=1)
+func fixture(t *testing.T) (*graph.Graph, *lattice.Lattice, *exec.Evaluator, *Scorer) {
+	t.Helper()
+	g := testkg.Fig1()
+	lbl := func(s string) graph.LabelID {
+		l, ok := g.Label(s)
+		if !ok {
+			t.Fatalf("no label %s", s)
+		}
+		return l
+	}
+	n := func(s string) graph.NodeID { return g.MustNode(s) }
+	m := &mqg.MQG{
+		Sub: graph.NewSubGraph([]graph.Edge{
+			{Src: n("Jerry Yang"), Label: lbl("founded"), Dst: n("Yahoo!")},
+			{Src: n("Yahoo!"), Label: lbl("headquartered_in"), Dst: n("Sunnyvale")},
+			{Src: n("Sunnyvale"), Label: lbl("located_in"), Dst: n("California")},
+			{Src: n("Jerry Yang"), Label: lbl("places_lived"), Dst: n("San Jose")},
+		}),
+		Weights: []float64{4, 3, 2, 1},
+		Depths:  []int{1, 1, 1, 1},
+		Tuple:   []graph.NodeID{n("Jerry Yang"), n("Yahoo!")},
+	}
+	lat, err := lattice.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := exec.New(storage.Build(g), lat)
+	return g, lat, ev, New(lat, ev)
+}
+
+// rowFor finds the evaluated row of q whose first entity has the given name.
+func rowFor(t *testing.T, g *graph.Graph, ev *exec.Evaluator, q lattice.EdgeSet, firstEntity string) exec.Row {
+	t.Helper()
+	rows, err := ev.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if g.Name(ev.TupleOf(r)[0]) == firstEntity {
+			return r
+		}
+	}
+	t.Fatalf("no row with first entity %s", firstEntity)
+	return nil
+}
+
+func TestIncidentCounts(t *testing.T) {
+	g, _, ev, sc := fixture(t)
+	cases := map[string]int{
+		"Jerry Yang": 2, "Yahoo!": 2, "Sunnyvale": 2, "California": 1, "San Jose": 1,
+	}
+	for name, want := range cases {
+		slot, ok := ev.SlotOf(g.MustNode(name))
+		if !ok {
+			t.Fatalf("no slot for %s", name)
+		}
+		if got := sc.IncidentCount(slot); got != want {
+			t.Errorf("|E(%s)| = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCScoreIdentityRow(t *testing.T) {
+	// The identity match binds every node to itself. Per Eq. 6 with both
+	// endpoints matching, each edge contributes w/min(|E(u)|,|E(v)|):
+	// founded: 4/min(2,2)=2; hq: 3/min(2,2)=1.5; located: 2/min(2,1)=2;
+	// lived: 1/min(2,1)=1. Total 6.5.
+	g, lat, ev, sc := fixture(t)
+	row := rowFor(t, g, ev, lat.Full(), "Jerry Yang")
+	if got := sc.CScore(lat.Full(), row); math.Abs(got-6.5) > 1e-12 {
+		t.Errorf("identity c_score = %v, want 6.5", got)
+	}
+}
+
+func TestCScoreWozniakRow(t *testing.T) {
+	// ⟨Steve Wozniak, Apple Inc.⟩ matches with Cupertino for Sunnyvale; the
+	// only identical nodes are California (edge 2, one side: 2/1=2) and
+	// San Jose (edge 3, one side: 1/1=1). Total 3.
+	g, lat, ev, sc := fixture(t)
+	row := rowFor(t, g, ev, lat.Full(), "Steve Wozniak")
+	if got := sc.CScore(lat.Full(), row); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("Wozniak c_score = %v, want 3", got)
+	}
+}
+
+func TestCScoreRestrictedToQueryGraph(t *testing.T) {
+	// On the subgraph {founded, lived}, the Wozniak row earns only the San
+	// Jose credit, and |E(u)| still counts MQG edges (Jerry Yang has 2).
+	g, _, ev, sc := fixture(t)
+	q := lattice.Bit(0) | lattice.Bit(3)
+	row := rowFor(t, g, ev, q, "Steve Wozniak")
+	if got := sc.CScore(q, row); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("restricted c_score = %v, want 1", got)
+	}
+}
+
+func TestFullScore(t *testing.T) {
+	g, lat, ev, sc := fixture(t)
+	row := rowFor(t, g, ev, lat.Full(), "Steve Wozniak")
+	want := sc.SScore(lat.Full()) + sc.CScore(lat.Full(), row)
+	if got := sc.Full(lat.Full(), row); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Full = %v, want %v", got, want)
+	}
+	if math.Abs(sc.SScore(lat.Full())-10) > 1e-12 {
+		t.Errorf("SScore(full) = %v, want 10", sc.SScore(lat.Full()))
+	}
+}
+
+func TestCScoreNoIdenticalNodes(t *testing.T) {
+	// Gates/Microsoft under {founded, hq}: Redmond≠Sunnyvale, no California
+	// or San Jose edges in q → zero content credit.
+	g, _, ev, sc := fixture(t)
+	q := lattice.Bit(0) | lattice.Bit(1)
+	row := rowFor(t, g, ev, q, "Bill Gates")
+	if got := sc.CScore(q, row); got != 0 {
+		t.Errorf("Gates c_score = %v, want 0", got)
+	}
+}
+
+func TestVirtualEntitiesNeverMatchIdentically(t *testing.T) {
+	g := testkg.Fig1()
+	lbl, _ := g.Label("founded")
+	hq, _ := g.Label("headquartered_in")
+	w1, w2 := mqg.VirtualNode(0), mqg.VirtualNode(1)
+	m := &mqg.MQG{
+		Sub: graph.NewSubGraph([]graph.Edge{
+			{Src: w1, Label: lbl, Dst: w2},
+			{Src: w2, Label: hq, Dst: g.MustNode("Sunnyvale")},
+		}),
+		Weights: []float64{2, 1},
+		Depths:  []int{1, 1},
+		Tuple:   []graph.NodeID{w1, w2},
+	}
+	lat, err := lattice.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := exec.New(storage.Build(g), lat)
+	sc := New(lat, ev)
+	rows, err := ev.Evaluate(lat.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		tu := ev.TupleOf(row)
+		c := sc.CScore(lat.Full(), row)
+		// Only the Sunnyvale binding can earn credit; w1/w2 never do.
+		if g.Name(tu[1]) == "Yahoo!" {
+			if math.Abs(c-1.0) > 1e-12 { // hq edge: 1/|E(Sunnyvale)| = 1/1
+				t.Errorf("Yahoo row c_score = %v, want 1", c)
+			}
+		} else if c != 0 {
+			t.Errorf("row %s|%s c_score = %v, want 0", g.Name(tu[0]), g.Name(tu[1]), c)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package stats precomputes the query-independent edge statistics of §III-B:
+// the inverse edge label frequency ief(e) (Eq. 3) and the participation
+// degree p(e) (Eq. 4), and combines them into the two edge weighting
+// functions the paper uses — Eq. 2 for discovering the MQG and Eq. 8
+// (depth-discounted) for scoring answers.
+//
+// Both statistics depend only on the data graph, so they are computed once
+// from the vertical-partition store and shared by all queries.
+package stats
+
+import (
+	"math"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/storage"
+)
+
+// Stats provides edge weights over one data graph.
+type Stats struct {
+	store *storage.Store
+	// ief[l] caches log(|E(G)| / #label(l)) per label.
+	ief []float64
+}
+
+// New computes label statistics from the store.
+func New(store *storage.Store) *Stats {
+	s := &Stats{store: store, ief: make([]float64, store.NumLabels())}
+	total := float64(store.NumEdges())
+	for l := range s.ief {
+		c := store.LabelCount(graph.LabelID(l))
+		if c == 0 {
+			continue
+		}
+		s.ief[l] = math.Log(total / float64(c))
+	}
+	return s
+}
+
+// Ief returns the inverse edge label frequency of label l (Eq. 3):
+// log(|E(G)| / #label(e)). Labels with no edges return 0.
+func (s *Stats) Ief(l graph.LabelID) float64 {
+	if int(l) < 0 || int(l) >= len(s.ief) {
+		return 0
+	}
+	return s.ief[l]
+}
+
+// Participation returns p(e) (Eq. 4): the number of edges in G that share
+// e's label and at least one of its end nodes in the same role, i.e.
+// |{e'=(u',v') : label(e')=label(e), u'=u ∨ v'=v}|. The edge itself is
+// counted once (it appears in both posting lists, so we subtract the
+// intersection).
+func (s *Stats) Participation(e graph.Edge) int {
+	t, ok := s.store.Table(e.Label)
+	if !ok {
+		return 1
+	}
+	p := t.OutDegree(e.Src) + t.InDegree(e.Dst)
+	if t.Has(e.Src, e.Dst) {
+		p-- // e itself is in both lists; |A∪B| = |A|+|B|−|A∩B|
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Weight returns w(e) = ief(e)/p(e) (Eq. 2), the weighting used while
+// discovering the maximal query graph from the neighborhood graph.
+func (s *Stats) Weight(e graph.Edge) float64 {
+	return s.Ief(e.Label) / float64(s.Participation(e))
+}
+
+// DepthWeight returns w(e) = ief(e)/(p(e)·d²) (Eq. 8), the depth-discounted
+// weighting used for edges of the discovered MQG when scoring answers.
+// depth is clamped to ≥1: edges incident on a query entity have raw depth 0
+// under Eq. 7 and the clamp gives them the maximum (undiscounted) weight.
+func (s *Stats) DepthWeight(e graph.Edge, depth int) float64 {
+	if depth < 1 {
+		depth = 1
+	}
+	return s.Weight(e) / float64(depth*depth)
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/storage"
+	"gqbe/internal/testkg"
+)
+
+func fig1Stats(t *testing.T) (*graph.Graph, *Stats) {
+	t.Helper()
+	g := testkg.Fig1()
+	return g, New(storage.Build(g))
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, src, label, dst string) graph.Edge {
+	t.Helper()
+	l, ok := g.Label(label)
+	if !ok {
+		t.Fatalf("unknown label %q", label)
+	}
+	e := graph.Edge{Src: g.MustNode(src), Label: l, Dst: g.MustNode(dst)}
+	if !g.HasEdge(e) {
+		t.Fatalf("edge %s -%s-> %s not in graph", src, label, dst)
+	}
+	return e
+}
+
+func TestIefFormula(t *testing.T) {
+	g, s := fig1Stats(t)
+	founded, _ := g.Label("founded")
+	// Fig. 1 fixture has 28 edges, 7 of them labeled founded.
+	want := math.Log(28.0 / 7.0)
+	if got := s.Ief(founded); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Ief(founded) = %v, want %v", got, want)
+	}
+}
+
+func TestIefRareLabelHigher(t *testing.T) {
+	g, s := fig1Stats(t)
+	founded, _ := g.Label("founded")
+	located, _ := g.Label("located_in") // 8 edges, more frequent
+	if s.Ief(founded) <= s.Ief(located) {
+		t.Errorf("ief(founded)=%v should exceed ief(located_in)=%v", s.Ief(founded), s.Ief(located))
+	}
+}
+
+func TestIefOutOfRange(t *testing.T) {
+	_, s := fig1Stats(t)
+	if s.Ief(graph.LabelID(999)) != 0 || s.Ief(graph.LabelID(-1)) != 0 {
+		t.Error("out-of-range labels should have ief 0")
+	}
+}
+
+func TestParticipationCountsSharedEndpoints(t *testing.T) {
+	g, s := fig1Stats(t)
+	// founded edges into Apple Inc.: Wozniak and Jobs. For the Wozniak edge,
+	// out-degree(Wozniak, founded)=1 and in-degree(Apple, founded)=2, so
+	// p = 1 + 2 − 1 = 2.
+	e := mustEdge(t, g, "Steve Wozniak", "founded", "Apple Inc.")
+	if got := s.Participation(e); got != 2 {
+		t.Errorf("p(Wozniak founded Apple) = %d, want 2", got)
+	}
+	// nationality edges into USA: 4 of them; each person has out-degree 1.
+	e = mustEdge(t, g, "Bill Gates", "nationality", "USA")
+	if got := s.Participation(e); got != 4 {
+		t.Errorf("p(Gates nationality USA) = %d, want 4", got)
+	}
+	// headquartered_in: each company and each city appears once → p = 1.
+	e = mustEdge(t, g, "Yahoo!", "headquartered_in", "Sunnyvale")
+	if got := s.Participation(e); got != 1 {
+		t.Errorf("p(Yahoo hq Sunnyvale) = %d, want 1", got)
+	}
+}
+
+func TestParticipationUnknownEdgeAtLeastOne(t *testing.T) {
+	g, s := fig1Stats(t)
+	founded, _ := g.Label("founded")
+	// A hypothetical edge between two nodes with no founded edges.
+	e := graph.Edge{Src: g.MustNode("California"), Label: founded, Dst: g.MustNode("USA")}
+	if got := s.Participation(e); got != 1 {
+		t.Errorf("participation floor = %d, want 1", got)
+	}
+	e.Label = graph.LabelID(999)
+	if got := s.Participation(e); got != 1 {
+		t.Errorf("participation for unknown label = %d, want 1", got)
+	}
+}
+
+func TestWeightEquation2(t *testing.T) {
+	g, s := fig1Stats(t)
+	e := mustEdge(t, g, "Bill Gates", "nationality", "USA")
+	want := s.Ief(e.Label) / 4.0
+	if got := s.Weight(e); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Weight = %v, want %v", got, want)
+	}
+}
+
+func TestWeightLocalFrequencyPenalty(t *testing.T) {
+	g, s := fig1Stats(t)
+	// education into Stanford has 3 edges sharing the object → p=3, while a
+	// headquartered_in edge has p=1; even though ief(education) and
+	// ief(headquartered_in) are close (3 vs 4 occurrences), the hub penalty
+	// must make education lighter.
+	hub := mustEdge(t, g, "Jerry Yang", "education", "Stanford")
+	rare := mustEdge(t, g, "Yahoo!", "headquartered_in", "Sunnyvale")
+	if s.Weight(hub) >= s.Weight(rare) {
+		t.Errorf("hub edge weight %v should be below non-hub %v", s.Weight(hub), s.Weight(rare))
+	}
+}
+
+func TestDepthWeight(t *testing.T) {
+	g, s := fig1Stats(t)
+	e := mustEdge(t, g, "Sunnyvale", "located_in", "California")
+	base := s.Weight(e)
+	cases := []struct {
+		depth int
+		want  float64
+	}{
+		{0, base},     // clamped to 1
+		{-3, base},    // clamped to 1
+		{1, base},     //
+		{2, base / 4}, // 1/d²
+		{3, base / 9},
+	}
+	for _, c := range cases {
+		if got := s.DepthWeight(e, c.depth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DepthWeight(depth=%d) = %v, want %v", c.depth, got, c.want)
+		}
+	}
+}
+
+func TestWeightsNonNegative(t *testing.T) {
+	g, s := fig1Stats(t)
+	g.Edges(func(e graph.Edge) bool {
+		if s.Weight(e) < 0 {
+			t.Errorf("negative weight for %v", e)
+		}
+		return true
+	})
+}

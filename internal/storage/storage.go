@@ -1,0 +1,154 @@
+// Package storage implements the vertically partitioned storage scheme of
+// §V-A: the data graph is split into one two-column (subj, obj) table per
+// distinct edge label, and each table carries two in-memory hash indexes,
+// keyed by subj and by obj respectively. Query graphs are evaluated as
+// multi-way hash joins over these tables (see internal/exec).
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"gqbe/internal/graph"
+)
+
+// Pair is one row of a label table: a (subject, object) edge.
+type Pair struct {
+	Subj graph.NodeID
+	Obj  graph.NodeID
+}
+
+// Table holds all edges of a single label, with hash indexes on both columns.
+type Table struct {
+	label graph.LabelID
+	pairs []Pair
+	// bySubj maps a subject node to the objects it points to under this
+	// label; byObj is the reverse. These are the two hash tables of §V-A.
+	bySubj map[graph.NodeID][]graph.NodeID
+	byObj  map[graph.NodeID][]graph.NodeID
+}
+
+// Label returns the table's edge label.
+func (t *Table) Label() graph.LabelID { return t.label }
+
+// Len returns the number of rows (edges) in the table.
+func (t *Table) Len() int { return len(t.pairs) }
+
+// Pairs returns all rows. The slice is owned by the table; do not modify.
+func (t *Table) Pairs() []Pair { return t.pairs }
+
+// Objects returns the objects o such that (s, label, o) is an edge.
+// The probe is a hash lookup; the returned slice is owned by the table.
+func (t *Table) Objects(s graph.NodeID) []graph.NodeID { return t.bySubj[s] }
+
+// Subjects returns the subjects s such that (s, label, o) is an edge.
+func (t *Table) Subjects(o graph.NodeID) []graph.NodeID { return t.byObj[o] }
+
+// OutDegree returns the number of edges with this label leaving s.
+func (t *Table) OutDegree(s graph.NodeID) int { return len(t.bySubj[s]) }
+
+// InDegree returns the number of edges with this label entering o.
+func (t *Table) InDegree(o graph.NodeID) int { return len(t.byObj[o]) }
+
+// Has reports whether the row (s, o) exists. It probes the smaller of the
+// two candidate posting lists.
+func (t *Table) Has(s, o graph.NodeID) bool {
+	objs := t.bySubj[s]
+	subs := t.byObj[o]
+	if len(objs) <= len(subs) {
+		for _, x := range objs {
+			if x == o {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range subs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is the full vertically partitioned database: one Table per label.
+// It is immutable after Build and safe for concurrent reads.
+type Store struct {
+	tables    []*Table
+	numEdges  int
+	numLabels int
+}
+
+// Build partitions the data graph g into per-label tables and hashes both
+// columns of every table, mirroring the paper's "the whole data graph is
+// hashed in memory ... before any query comes in".
+func Build(g *graph.Graph) *Store {
+	s := &Store{
+		tables:    make([]*Table, g.NumLabels()),
+		numEdges:  g.NumEdges(),
+		numLabels: g.NumLabels(),
+	}
+	for l := 0; l < g.NumLabels(); l++ {
+		s.tables[l] = &Table{
+			label:  graph.LabelID(l),
+			bySubj: make(map[graph.NodeID][]graph.NodeID),
+			byObj:  make(map[graph.NodeID][]graph.NodeID),
+		}
+	}
+	g.Edges(func(e graph.Edge) bool {
+		t := s.tables[e.Label]
+		t.pairs = append(t.pairs, Pair{Subj: e.Src, Obj: e.Dst})
+		t.bySubj[e.Src] = append(t.bySubj[e.Src], e.Dst)
+		t.byObj[e.Dst] = append(t.byObj[e.Dst], e.Src)
+		return true
+	})
+	// Sort rows and postings for deterministic join output order.
+	for _, t := range s.tables {
+		sort.Slice(t.pairs, func(i, j int) bool {
+			if t.pairs[i].Subj != t.pairs[j].Subj {
+				return t.pairs[i].Subj < t.pairs[j].Subj
+			}
+			return t.pairs[i].Obj < t.pairs[j].Obj
+		})
+		for _, m := range []map[graph.NodeID][]graph.NodeID{t.bySubj, t.byObj} {
+			for k := range m {
+				lst := m[k]
+				sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			}
+		}
+	}
+	return s
+}
+
+// Table returns the table for label l; ok is false when the label has no
+// edges (or is out of range).
+func (s *Store) Table(l graph.LabelID) (*Table, bool) {
+	if int(l) < 0 || int(l) >= len(s.tables) {
+		return nil, false
+	}
+	return s.tables[l], true
+}
+
+// MustTable returns the table for l, panicking if absent. For tests.
+func (s *Store) MustTable(l graph.LabelID) *Table {
+	t, ok := s.Table(l)
+	if !ok {
+		panic(fmt.Sprintf("storage: no table for label %d", l))
+	}
+	return t
+}
+
+// NumEdges returns the number of edges across all tables.
+func (s *Store) NumEdges() int { return s.numEdges }
+
+// NumLabels returns the number of label tables.
+func (s *Store) NumLabels() int { return s.numLabels }
+
+// LabelCount returns the number of edges bearing label l (the #label(e) term
+// of Eq. 3).
+func (s *Store) LabelCount(l graph.LabelID) int {
+	if t, ok := s.Table(l); ok {
+		return t.Len()
+	}
+	return 0
+}

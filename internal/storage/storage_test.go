@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/testkg"
+)
+
+func TestBuildPartitionsByLabel(t *testing.T) {
+	g := testkg.Fig1()
+	s := Build(g)
+	if s.NumEdges() != g.NumEdges() {
+		t.Errorf("NumEdges = %d, want %d", s.NumEdges(), g.NumEdges())
+	}
+	if s.NumLabels() != g.NumLabels() {
+		t.Errorf("NumLabels = %d, want %d", s.NumLabels(), g.NumLabels())
+	}
+	total := 0
+	for l := 0; l < g.NumLabels(); l++ {
+		tab := s.MustTable(graph.LabelID(l))
+		if tab.Label() != graph.LabelID(l) {
+			t.Errorf("table label = %d, want %d", tab.Label(), l)
+		}
+		total += tab.Len()
+	}
+	if total != g.NumEdges() {
+		t.Errorf("tables hold %d edges in total, want %d", total, g.NumEdges())
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	g := testkg.Fig1()
+	s := Build(g)
+	founded, _ := g.Label("founded")
+	tab := s.MustTable(founded)
+	if tab.Len() != 7 {
+		t.Fatalf("founded table has %d rows, want 7", tab.Len())
+	}
+	jy := g.MustNode("Jerry Yang")
+	yahoo := g.MustNode("Yahoo!")
+	objs := tab.Objects(jy)
+	if len(objs) != 1 || objs[0] != yahoo {
+		t.Errorf("Objects(Jerry Yang) = %v, want [Yahoo!]", objs)
+	}
+	subs := tab.Subjects(yahoo)
+	if len(subs) != 2 {
+		t.Errorf("Subjects(Yahoo!) = %d entries, want 2 (Yang, Filo)", len(subs))
+	}
+	if !tab.Has(jy, yahoo) {
+		t.Error("Has(Jerry Yang, Yahoo!) = false")
+	}
+	if tab.Has(yahoo, jy) {
+		t.Error("Has is direction-sensitive and should reject the reverse")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := testkg.Fig1()
+	s := Build(g)
+	founded, _ := g.Label("founded")
+	tab := s.MustTable(founded)
+	apple := g.MustNode("Apple Inc.")
+	if got := tab.InDegree(apple); got != 2 {
+		t.Errorf("InDegree(Apple) = %d, want 2 (Wozniak, Jobs)", got)
+	}
+	woz := g.MustNode("Steve Wozniak")
+	if got := tab.OutDegree(woz); got != 1 {
+		t.Errorf("OutDegree(Wozniak) = %d, want 1", got)
+	}
+	if got := tab.OutDegree(apple); got != 0 {
+		t.Errorf("OutDegree(Apple) under founded = %d, want 0", got)
+	}
+}
+
+func TestTableOutOfRange(t *testing.T) {
+	s := Build(testkg.Fig1())
+	if _, ok := s.Table(graph.LabelID(999)); ok {
+		t.Error("out-of-range label returned a table")
+	}
+	if _, ok := s.Table(graph.LabelID(-1)); ok {
+		t.Error("negative label returned a table")
+	}
+	if s.LabelCount(999) != 0 {
+		t.Error("LabelCount for absent label should be 0")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	s := Build(testkg.Fig1())
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on absent label did not panic")
+		}
+	}()
+	s.MustTable(999)
+}
+
+func TestLabelCountMatchesGraph(t *testing.T) {
+	g := testkg.Fig1()
+	s := Build(g)
+	counts := make(map[graph.LabelID]int)
+	g.Edges(func(e graph.Edge) bool { counts[e.Label]++; return true })
+	for l, want := range counts {
+		if got := s.LabelCount(l); got != want {
+			t.Errorf("LabelCount(%s) = %d, want %d", g.LabelName(l), got, want)
+		}
+	}
+}
+
+func TestPairsSorted(t *testing.T) {
+	g := testkg.Fig1()
+	s := Build(g)
+	for l := 0; l < g.NumLabels(); l++ {
+		tab := s.MustTable(graph.LabelID(l))
+		ps := tab.Pairs()
+		for i := 1; i < len(ps); i++ {
+			a, b := ps[i-1], ps[i]
+			if a.Subj > b.Subj || (a.Subj == b.Subj && a.Obj > b.Obj) {
+				t.Fatalf("table %s rows not sorted at %d", g.LabelName(graph.LabelID(l)), i)
+			}
+		}
+	}
+}
+
+// Property: for a random graph, every edge is findable through both indexes
+// and the index postings exactly reconstruct the edge set.
+func TestQuickIndexesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 3 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('A' + i)))
+		}
+		labels := []string{"p", "q", "r"}
+		m := 1 + r.Intn(25)
+		for i := 0; i < m; i++ {
+			g.AddEdgeIDs(graph.NodeID(r.Intn(n)), g.AddLabel(labels[r.Intn(len(labels))]), graph.NodeID(r.Intn(n)))
+		}
+		s := Build(g)
+		okAll := true
+		g.Edges(func(e graph.Edge) bool {
+			tab := s.MustTable(e.Label)
+			if !tab.Has(e.Src, e.Dst) {
+				okAll = false
+				return false
+			}
+			found := false
+			for _, o := range tab.Objects(e.Src) {
+				if o == e.Dst {
+					found = true
+				}
+			}
+			if !found {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		if !okAll {
+			return false
+		}
+		// Reconstruct edge count from bySubj postings.
+		total := 0
+		for l := 0; l < g.NumLabels(); l++ {
+			tab := s.MustTable(graph.LabelID(l))
+			for _, p := range tab.Pairs() {
+				if !g.HasEdge(graph.Edge{Src: p.Subj, Label: graph.LabelID(l), Dst: p.Obj}) {
+					return false
+				}
+				total++
+			}
+		}
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package topk implements GQBE's query processing (§V): the best-first
+// exploration of the query lattice (Alg. 2), upper-boundary recomputation
+// after pruning (Alg. 3), the Theorem-4 termination test, and the two-stage
+// ranking of §V-B (structure-score search for the top-k′ answer tuples,
+// then re-ranking by the full Eq. 5 score for the final top-k).
+package topk
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gqbe/internal/exec"
+	"gqbe/internal/graph"
+	"gqbe/internal/lattice"
+	"gqbe/internal/scoring"
+	"gqbe/internal/storage"
+)
+
+// Options tunes the search.
+type Options struct {
+	// K is the number of answer tuples to return.
+	K int
+	// KPrime is the stage-1 pool size: the search runs under the simplified
+	// scoring score_Q(A) = s_score(Q) until KPrime tuples are secured, then
+	// re-ranks them with the full score. The paper found k′≈100 best for
+	// k in 10..25 (§V-B). Defaults to max(100, 4·K).
+	KPrime int
+	// MaxRows bounds materialized rows per lattice node (see exec).
+	MaxRows int
+	// MaxEvaluations caps evaluated lattice nodes as a safety valve;
+	// 0 means no cap.
+	MaxEvaluations int
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.KPrime < o.K {
+		o.KPrime = 4 * o.K
+		if o.KPrime < 100 {
+			o.KPrime = 100
+		}
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = exec.DefaultMaxRows
+	}
+}
+
+// Answer is one ranked answer tuple.
+type Answer struct {
+	// Tuple holds the answer entities, positionally matching the query tuple.
+	Tuple []graph.NodeID
+	// Score is the final score: best s_score + c_score over all answer
+	// graphs observed for this tuple (Eq. 1 with Eq. 5).
+	Score float64
+	// SScore is the best structure-only score (stage 1's ranking key).
+	SScore float64
+	// BestGraph is the query graph that achieved SScore.
+	BestGraph lattice.EdgeSet
+}
+
+// Result is the outcome of a search, including the efficiency counters the
+// paper's evaluation reports.
+type Result struct {
+	Answers []Answer
+	// NodesEvaluated is the number of lattice nodes evaluated (Fig. 15).
+	NodesEvaluated int
+	// NullNodes is the number of evaluated nodes with no answers.
+	NullNodes int
+	// TuplesSeen is the number of distinct answer tuples encountered.
+	TuplesSeen int
+	// Terminated reports whether the Theorem-4 test stopped the search
+	// before the frontier emptied.
+	Terminated bool
+	// RowBudgetSkips counts lattice nodes skipped because their join
+	// results exceeded the row budget.
+	RowBudgetSkips int
+}
+
+// tupleKey builds a map key for an answer tuple.
+func tupleKey(t []graph.NodeID) string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// candidate tracks the best scores seen for one answer tuple.
+type candidate struct {
+	tuple     []graph.NodeID
+	bestS     float64
+	bestFull  float64
+	bestGraph lattice.EdgeSet
+}
+
+// Search runs Alg. 2 over the lattice lat against store, excluding the query
+// tuples themselves from the answers (a query tuple trivially matches
+// itself, §II). For merged multi-tuple MQGs pass every input tuple in
+// exclude.
+func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	opts.fill()
+	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows))
+	sc := scoring.New(lat, ev)
+	excluded := make(map[string]bool, len(exclude))
+	for _, t := range exclude {
+		excluded[tupleKey(t)] = true
+	}
+
+	s := &searcher{
+		lat:      lat,
+		ev:       ev,
+		sc:       sc,
+		opts:     opts,
+		upper:    []ufNode{{set: lat.Full(), sscore: lat.SScore(lat.Full())}},
+		inLF:     make(map[lattice.EdgeSet]bool),
+		done:     make(map[lattice.EdgeSet]bool),
+		tuples:   make(map[string]*candidate),
+		excluded: excluded,
+	}
+	for _, q := range lat.MinimalTrees() {
+		s.pushLF(q)
+	}
+	res, err := s.run()
+	if err != nil {
+		return nil, err
+	}
+	res.NodesEvaluated = ev.Evaluated()
+	return res, nil
+}
+
+// ufNode is one upper-frontier member with its cached structure score.
+type ufNode struct {
+	set    lattice.EdgeSet
+	sscore float64
+}
+
+// lfEntry is a frontier candidate in the lazy max-heap. epoch records the
+// upper-frontier version its bound was computed against; the frontier only
+// shrinks, so stale bounds overestimate and lazy recomputation on pop is
+// sound for a max-heap.
+type lfEntry struct {
+	q     lattice.EdgeSet
+	ub    float64
+	own   float64 // s_score(q), the tie-break
+	epoch int
+}
+
+type lfHeap []lfEntry
+
+func (h lfHeap) Len() int { return len(h) }
+func (h lfHeap) Less(i, j int) bool {
+	if h[i].ub != h[j].ub {
+		return h[i].ub > h[j].ub
+	}
+	// The paper leaves ties in U(Q) unspecified. Break them toward the
+	// SMALLER structure score: cheaper query graphs are evaluated first, so
+	// small null nodes are discovered (and their ancestors pruned) at least
+	// as early as breadth-first traversal would, while the upper-bound
+	// ordering still prioritizes promising regions.
+	if h[i].own != h[j].own {
+		return h[i].own < h[j].own
+	}
+	return h[i].q < h[j].q
+}
+func (h lfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lfHeap) Push(x any)   { *h = append(*h, x.(lfEntry)) }
+func (h *lfHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// searcher is the mutable state of one Alg. 2 run.
+type searcher struct {
+	lat  *lattice.Lattice
+	ev   *exec.Evaluator
+	sc   *scoring.Scorer
+	opts Options
+
+	lf    lfHeap // lower frontier (candidates), lazy max-heap by U(Q)
+	inLF  map[lattice.EdgeSet]bool
+	done  map[lattice.EdgeSet]bool // evaluated
+	nulls []lattice.EdgeSet        // minimal null antichain; pruned = superset of any
+	upper []ufNode                 // upper frontier: maximal unpruned nodes
+	epoch int                      // bumped whenever upper changes
+
+	tuples   map[string]*candidate
+	excluded map[string]bool
+
+	// kth-best cache for the Theorem-4 test.
+	kthDirty bool
+	kthVal   float64
+	kthHave  bool
+
+	nullCount int
+}
+
+// pruned reports whether q subsumes a known null node (upward closure,
+// Property 3).
+func (s *searcher) pruned(q lattice.EdgeSet) bool {
+	for _, n := range s.nulls {
+		if q.Subsumes(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// upperBound returns U(Q) (Def. 9): the maximum structure score among upper
+// frontier nodes subsuming q. Unpruned nodes always have one.
+func (s *searcher) upperBound(q lattice.EdgeSet) (float64, bool) {
+	best, found := 0.0, false
+	for _, u := range s.upper {
+		if u.set.Subsumes(q) && (!found || u.sscore > best) {
+			best, found = u.sscore, true
+		}
+	}
+	return best, found
+}
+
+// pushLF inserts a candidate with a freshly computed upper bound.
+func (s *searcher) pushLF(q lattice.EdgeSet) {
+	if s.inLF[q] || s.done[q] {
+		return
+	}
+	ub, ok := s.upperBound(q)
+	if !ok {
+		return // effectively pruned
+	}
+	s.inLF[q] = true
+	heap.Push(&s.lf, lfEntry{q: q, ub: ub, own: s.lat.SScore(q), epoch: s.epoch})
+}
+
+// popBest returns the unpruned candidate with the highest current
+// upper-bound score, lazily refreshing stale bounds.
+func (s *searcher) popBest() (lattice.EdgeSet, float64, bool) {
+	for s.lf.Len() > 0 {
+		e := heap.Pop(&s.lf).(lfEntry)
+		if !s.inLF[e.q] {
+			continue
+		}
+		if s.pruned(e.q) {
+			delete(s.inLF, e.q)
+			continue
+		}
+		if e.epoch != s.epoch {
+			ub, ok := s.upperBound(e.q)
+			if !ok {
+				delete(s.inLF, e.q)
+				continue
+			}
+			e.ub, e.epoch = ub, s.epoch
+			heap.Push(&s.lf, e)
+			continue
+		}
+		delete(s.inLF, e.q)
+		return e.q, e.ub, true
+	}
+	return 0, 0, false
+}
+
+// kthBestSScore returns the structure score of the k′-th best tuple so far,
+// or false if fewer than k′ tuples are known. The value is cached between
+// absorb calls.
+func (s *searcher) kthBestSScore() (float64, bool) {
+	if !s.kthDirty {
+		return s.kthVal, s.kthHave
+	}
+	s.kthDirty = false
+	if len(s.tuples) < s.opts.KPrime {
+		s.kthVal, s.kthHave = 0, false
+		return 0, false
+	}
+	scores := make([]float64, 0, len(s.tuples))
+	for _, c := range s.tuples {
+		scores = append(scores, c.bestS)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	s.kthVal, s.kthHave = scores[s.opts.KPrime-1], true
+	return s.kthVal, true
+}
+
+func (s *searcher) run() (*Result, error) {
+	res := &Result{}
+	for {
+		if s.opts.MaxEvaluations > 0 && s.ev.Evaluated() >= s.opts.MaxEvaluations {
+			break
+		}
+		qbest, ub, ok := s.popBest()
+		if !ok {
+			break // frontier exhausted
+		}
+		// Theorem 4: stop when the current k′-th best answer beats the best
+		// possible score of any unevaluated node. The paper uses a strict
+		// inequality; we terminate on ties as well — the guarantee that no
+		// unevaluated query graph can yield a strictly better tuple is
+		// unchanged, and with discrete weight distributions (many answers
+		// sharing one structure score) the strict test would never fire.
+		if kth, have := s.kthBestSScore(); have && kth >= ub {
+			res.Terminated = true
+			break
+		}
+		s.done[qbest] = true
+		rows, err := s.ev.Evaluate(qbest)
+		if err != nil {
+			if errors.Is(err, exec.ErrTooManyRows) {
+				// Join blow-up on this query graph (the paper's F4/F19
+				// pathology): skip the node. Its ancestors may still be
+				// cheap — additional join predicates shrink results — so
+				// they are not pruned, but they will only be reached
+				// through other children.
+				res.RowBudgetSkips++
+				continue
+			}
+			return nil, fmt.Errorf("topk: evaluating lattice node: %w", err)
+		}
+		if len(rows) == 0 || s.onlyExcluded(rows) {
+			// Null node (an answer set holding only the query tuple itself
+			// prunes the same way: every ancestor answer restricts to a
+			// child answer with the same projection).
+			s.nullCount++
+			s.recordNull(qbest)
+			continue
+		}
+		s.absorb(qbest, rows)
+		for _, p := range s.lat.Parents(qbest) {
+			if !s.done[p] && !s.inLF[p] && !s.pruned(p) {
+				s.pushLF(p)
+			}
+		}
+	}
+	res.NullNodes = s.nullCount
+	res.TuplesSeen = len(s.tuples)
+	res.Answers = s.rank()
+	return res, nil
+}
+
+// onlyExcluded reports whether every row projects to an excluded (query)
+// tuple.
+func (s *searcher) onlyExcluded(rows []exec.Row) bool {
+	for _, r := range rows {
+		if !s.excluded[tupleKey(s.ev.TupleOf(r))] {
+			return false
+		}
+	}
+	return true
+}
+
+// absorb folds the answers of an evaluated node into the per-tuple bests.
+// Under the simplified stage-1 scoring every row of q scores s_score(q);
+// the full score (with content credit) is tracked alongside for stage 2.
+func (s *searcher) absorb(q lattice.EdgeSet, rows []exec.Row) {
+	sScore := s.lat.SScore(q)
+	for _, row := range rows {
+		tuple := s.ev.TupleOf(row)
+		key := tupleKey(tuple)
+		if s.excluded[key] {
+			continue
+		}
+		full := sScore + s.sc.CScore(q, row)
+		c, ok := s.tuples[key]
+		if !ok {
+			c = &candidate{tuple: append([]graph.NodeID(nil), tuple...)}
+			s.tuples[key] = c
+		}
+		if sScore > c.bestS || (sScore == c.bestS && c.bestGraph == 0) {
+			c.bestS = sScore
+			c.bestGraph = q
+		}
+		if full > c.bestFull {
+			c.bestFull = full
+		}
+	}
+	s.kthDirty = true
+}
+
+// recordNull registers qbest as a null node, prunes its ancestors, and
+// recomputes the upper frontier per Alg. 3: every pruned upper-frontier node
+// Q' is replaced by the entity-containing components of Q' minus one edge of
+// qbest, keeping only maximal survivors.
+func (s *searcher) recordNull(qbest lattice.EdgeSet) {
+	// Maintain the null set as a minimal antichain: a previously recorded
+	// null that subsumes the new one is redundant.
+	kept := s.nulls[:0]
+	for _, n := range s.nulls {
+		if !n.Subsumes(qbest) {
+			kept = append(kept, n)
+		}
+	}
+	s.nulls = append(kept, qbest)
+
+	var keep []ufNode
+	var replaced []lattice.EdgeSet
+	for _, u := range s.upper {
+		if u.set.Subsumes(qbest) {
+			replaced = append(replaced, u.set)
+		} else {
+			keep = append(keep, u)
+		}
+	}
+	if len(replaced) == 0 {
+		return
+	}
+	var nb []lattice.EdgeSet
+	seen := make(map[lattice.EdgeSet]bool)
+	for _, qp := range replaced {
+		for _, ei := range s.lat.EdgeIndices(qbest) {
+			qsub := s.lat.ComponentContaining(qp &^ lattice.Bit(ei))
+			if qsub == 0 || seen[qsub] || s.pruned(qsub) {
+				continue
+			}
+			seen[qsub] = true
+			nb = append(nb, qsub)
+		}
+	}
+	// Keep only candidates not subsumed by surviving upper nodes or by a
+	// strictly larger candidate (Alg. 3 lines 11–13).
+	for _, cand := range nb {
+		dominated := false
+		for _, u := range keep {
+			if u.set.Subsumes(cand) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			for _, other := range nb {
+				if other != cand && other.Subsumes(cand) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			keep = append(keep, ufNode{set: cand, sscore: s.lat.SScore(cand)})
+		}
+	}
+	s.upper = keep
+	s.epoch++
+}
+
+// rank applies the two-stage ranking of §V-B: order tuples by best structure
+// score, keep the top k′, re-rank those by the full score, return the top k.
+func (s *searcher) rank() []Answer {
+	all := make([]*candidate, 0, len(s.tuples))
+	for _, c := range s.tuples {
+		all = append(all, c)
+	}
+	// Stage-1 order is by structure score; ties at the k′ boundary are
+	// broken by the full score so that, among structurally identical
+	// candidates, the ones the stage-2 re-rank would prefer survive the
+	// cut (large answer sets routinely tie on s_score).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].bestS != all[j].bestS {
+			return all[i].bestS > all[j].bestS
+		}
+		if all[i].bestFull != all[j].bestFull {
+			return all[i].bestFull > all[j].bestFull
+		}
+		return tupleKey(all[i].tuple) < tupleKey(all[j].tuple)
+	})
+	if len(all) > s.opts.KPrime {
+		all = all[:s.opts.KPrime]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].bestFull != all[j].bestFull {
+			return all[i].bestFull > all[j].bestFull
+		}
+		return tupleKey(all[i].tuple) < tupleKey(all[j].tuple)
+	})
+	if len(all) > s.opts.K {
+		all = all[:s.opts.K]
+	}
+	answers := make([]Answer, len(all))
+	for i, c := range all {
+		answers[i] = Answer{Tuple: c.tuple, Score: c.bestFull, SScore: c.bestS, BestGraph: c.bestGraph}
+	}
+	return answers
+}
+
+// ErrNoAnswers is returned by convenience wrappers when a query yields
+// nothing; Search itself returns an empty Result instead.
+var ErrNoAnswers = errors.New("topk: no answer tuples found")

@@ -1,0 +1,155 @@
+// Package triples reads and writes knowledge graphs as tab-separated triple
+// files — the on-disk format of this repository. Each line is
+//
+//	subject \t predicate \t object
+//
+// Blank lines and lines starting with '#' are ignored. This is the simple
+// textual counterpart of the RDF triple model the paper assumes (§V-A).
+package triples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gqbe/internal/graph"
+)
+
+// maxLineBytes bounds a single triple line; entity names in knowledge graphs
+// are short, so 1 MiB is generous while still catching runaway input.
+const maxLineBytes = 1 << 20
+
+// Triple is one (subject, predicate, object) statement.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// ParseError reports a malformed line with its 1-based line number.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("triples: line %d: %v: %q", e.Line, e.Err, e.Text)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+var errFieldCount = fmt.Errorf("expected 3 tab-separated fields")
+var errEmptyField = fmt.Errorf("empty field")
+
+// Read parses all triples from r, calling fn for each. It stops at the first
+// malformed line and returns a *ParseError describing it.
+func Read(r io.Reader, fn func(Triple) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return &ParseError{Line: lineNo, Text: line, Err: errFieldCount}
+		}
+		t := Triple{Subject: strings.TrimSpace(parts[0]), Predicate: strings.TrimSpace(parts[1]), Object: strings.TrimSpace(parts[2])}
+		if t.Subject == "" || t.Predicate == "" || t.Object == "" {
+			return &ParseError{Line: lineNo, Text: line, Err: errEmptyField}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("triples: scanning input: %w", err)
+	}
+	return nil
+}
+
+// ReadAll parses all triples from r into a slice.
+func ReadAll(r io.Reader) ([]Triple, error) {
+	var ts []Triple
+	err := Read(r, func(t Triple) error {
+		ts = append(ts, t)
+		return nil
+	})
+	return ts, err
+}
+
+// LoadGraph reads triples from r into a fresh data graph, deduplicating edges
+// and sorting adjacency lists for deterministic traversal.
+func LoadGraph(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	err := Read(r, func(t Triple) error {
+		g.AddEdge(t.Subject, t.Predicate, t.Object)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.SortAdjacency()
+	return g, nil
+}
+
+// LoadGraphFile is LoadGraph over a file path.
+func LoadGraphFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("triples: %w", err)
+	}
+	defer f.Close()
+	g, err := LoadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("triples: loading %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Write emits every edge of g to w in deterministic (sorted) order.
+func Write(w io.Writer, g *graph.Graph) error {
+	var lines []string
+	g.Edges(func(e graph.Edge) bool {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s", g.Name(e.Src), g.LabelName(e.Label), g.Name(e.Dst)))
+		return true
+	})
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := bw.WriteString(l); err != nil {
+			return fmt.Errorf("triples: writing: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("triples: writing: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("triples: flushing: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes g to path, creating or truncating it.
+func WriteFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("triples: %w", err)
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("triples: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package triples
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/testkg"
+)
+
+func TestReadAllBasic(t *testing.T) {
+	in := "a\tfounded\tb\n# comment\n\n c \t likes \t d \n"
+	ts, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	if ts[0] != (Triple{"a", "founded", "b"}) {
+		t.Errorf("triple 0 = %+v", ts[0])
+	}
+	if ts[1] != (Triple{"c", "likes", "d"}) {
+		t.Errorf("whitespace not trimmed: %+v", ts[1])
+	}
+}
+
+func TestReadFieldCountError(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("good\tp\to\nbad line without tabs\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !errors.Is(err, errFieldCount) {
+		t.Errorf("want errFieldCount cause, got %v", pe.Err)
+	}
+}
+
+func TestReadEmptyFieldError(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("a\t\tb\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if !errors.Is(err, errEmptyField) {
+		t.Errorf("want errEmptyField cause, got %v", pe.Err)
+	}
+}
+
+func TestReadCallbackErrorPropagates(t *testing.T) {
+	sentinel := errors.New("stop")
+	err := Read(strings.NewReader("a\tp\tb\nc\tp\td\n"), func(Triple) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	var b strings.Builder
+	for _, tr := range testkg.Fig1Triples() {
+		fmt.Fprintf(&b, "%s\t%s\t%s\n", tr[0], tr[1], tr[2])
+	}
+	g, err := LoadGraph(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	want := testkg.Fig1()
+	if g.NumNodes() != want.NumNodes() || g.NumEdges() != want.NumEdges() {
+		t.Errorf("loaded %v, want %v", g, want)
+	}
+	jy := g.MustNode("Jerry Yang")
+	if got := len(g.OutArcs(jy)); got != 4 {
+		t.Errorf("Jerry Yang out-degree = %d, want 4", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := testkg.Fig1()
+	var buf strings.Builder
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := LoadGraph(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("LoadGraph round trip: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumNodes() != g.NumNodes() || g2.NumLabels() != g.NumLabels() {
+		t.Errorf("round trip mismatch: %v vs %v", g2, g)
+	}
+	// Every original edge must survive the round trip.
+	g.Edges(func(e graph.Edge) bool {
+		src, _ := g2.Node(g.Name(e.Src))
+		dst, _ := g2.Node(g.Name(e.Dst))
+		l, _ := g2.Label(g.LabelName(e.Label))
+		if !g2.HasEdge(graph.Edge{Src: src, Label: l, Dst: dst}) {
+			t.Errorf("edge %s missing after round trip", g.Name(e.Src))
+		}
+		return true
+	})
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	g := testkg.Fig1()
+	var a, b strings.Builder
+	if err := Write(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Write output is not deterministic")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kg.tsv")
+	g := testkg.Fig1()
+	if err := WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	g2, err := LoadGraphFile(path)
+	if err != nil {
+		t.Fatalf("LoadGraphFile: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("file round trip: %d edges, want %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestLoadGraphFileMissing(t *testing.T) {
+	if _, err := LoadGraphFile(filepath.Join(t.TempDir(), "absent.tsv")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestLoadGraphDeduplicates(t *testing.T) {
+	g, err := LoadGraph(strings.NewReader("a\tp\tb\na\tp\tb\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate triples produced %d edges, want 1", g.NumEdges())
+	}
+}

@@ -1,0 +1,115 @@
+// Package userstudy simulates the Amazon Mechanical Turk study of §VI-B.
+// The paper showed 50 random pairs of GQBE's top-30 answers to 20 workers
+// each and measured the Pearson correlation between GQBE's pairwise rank
+// differences (X) and the workers' pairwise preference margins (Y).
+//
+// Offline we replace the crowd with noisy quality oracles: each simulated
+// worker prefers the answer with the higher ground-truth quality with
+// probability 1−noise, and flips a fair coin between answers of equal
+// quality. This preserves what Table IV measures — whether the system's
+// ranking correlates with an independent quality signal — while remaining
+// fully deterministic per seed.
+package userstudy
+
+import (
+	"math/rand"
+
+	"gqbe/internal/metrics"
+)
+
+// Config parameterizes one simulated study.
+type Config struct {
+	// Workers per pair (paper: 20).
+	Workers int
+	// Pairs sampled from the ranked answers (paper: 50).
+	Pairs int
+	// Noise is the probability a worker votes against the quality oracle.
+	Noise float64
+	// Seed drives the sampling and votes.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 20
+	}
+	if c.Pairs <= 0 {
+		c.Pairs = 50
+	}
+	if c.Noise <= 0 || c.Noise >= 1 {
+		c.Noise = 0.15
+	}
+}
+
+// Outcome is the PCC of one query's study; Defined is false when either
+// value list has no variance (every answer tied — the paper's F12/F13).
+type Outcome struct {
+	PCC     float64
+	Defined bool
+	// Opinions is the number of worker judgments collected (pairs×workers).
+	Opinions int
+}
+
+// Simulate runs the study for one query. scores are the system's answer
+// scores in rank order (ties in score mean tied ranks, which is what makes
+// PCC undefined when all scores are equal); quality[i] is the ground-truth
+// quality of answer i (e.g. 1 if in the ground-truth table, 0 otherwise).
+func Simulate(scores, quality []float64, cfg Config) Outcome {
+	cfg.fill()
+	n := len(scores)
+	if n < 2 || len(quality) != n {
+		return Outcome{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ranks := rankWithTies(scores)
+
+	xs := make([]float64, 0, cfg.Pairs)
+	ys := make([]float64, 0, cfg.Pairs)
+	opinions := 0
+	for p := 0; p < cfg.Pairs; p++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		for j == i {
+			j = rng.Intn(n)
+		}
+		// X: positive when the system ranks i better (smaller rank).
+		xs = append(xs, ranks[j]-ranks[i])
+		// Y: worker preference margin for i.
+		margin := 0
+		for w := 0; w < cfg.Workers; w++ {
+			opinions++
+			preferI := false
+			switch {
+			case quality[i] > quality[j]:
+				preferI = rng.Float64() >= cfg.Noise
+			case quality[i] < quality[j]:
+				preferI = rng.Float64() < cfg.Noise
+			default:
+				preferI = rng.Intn(2) == 0
+			}
+			if preferI {
+				margin++
+			} else {
+				margin--
+			}
+		}
+		ys = append(ys, float64(margin))
+	}
+	pcc, ok := metrics.PCC(xs, ys)
+	return Outcome{PCC: pcc, Defined: ok, Opinions: opinions}
+}
+
+// rankWithTies assigns 1-based ranks to scores (assumed sorted descending),
+// giving equal scores equal ranks. All-equal scores produce all-equal ranks,
+// which zeroes the variance of X and makes PCC undefined.
+func rankWithTies(scores []float64) []float64 {
+	ranks := make([]float64, len(scores))
+	rank := 1.0
+	for i := range scores {
+		if i > 0 && scores[i] != scores[i-1] {
+			rank = float64(i + 1)
+		}
+		ranks[i] = rank
+	}
+	return ranks
+}
