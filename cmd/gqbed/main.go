@@ -1,0 +1,116 @@
+// Command gqbed is the GQBE query-serving daemon: it loads a knowledge graph
+// once, preprocesses it in memory (the paper's offline phase), and serves
+// query-by-example requests over an HTTP JSON API.
+//
+// Usage:
+//
+//	gqbed -graph kg.tsv [-addr :8080] [-max-concurrent 8] [-cache-entries 1024]
+//
+// Endpoints:
+//
+//	POST /v1/query          {"tuple":["Jerry Yang","Yahoo!"],"k":10,"timeout_ms":500}
+//	                        {"tuples":[["Jerry Yang","Yahoo!"],["Sergey Brin","Google"]]}
+//	GET  /v1/entity/{name}  entity existence check
+//	GET  /healthz           liveness + graph shape
+//	GET  /statz             serving metrics (QPS, latency percentiles, cache)
+//
+// The daemon sheds load with 429 once all workers are busy, answers repeated
+// queries from an LRU result cache, and cancels any query that exceeds its
+// deadline. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gqbe"
+	"gqbe/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to the knowledge graph (TSV triples), required")
+		addr      = flag.String("addr", ":8080", "listen address")
+
+		maxConcurrent = flag.Int("max-concurrent", 8, "max simultaneous lattice searches")
+		queueWait     = flag.Duration("queue-wait", time.Second, "max wait for a worker slot before shedding with 429")
+		timeout       = flag.Duration("timeout", 10*time.Second, "default per-query deadline")
+		maxTimeout    = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		cacheEntries  = flag.Int("cache-entries", 1024, "result cache capacity in entries (negative disables)")
+		cacheShards   = flag.Int("cache-shards", 16, "result cache shard count")
+	)
+	flag.Parse()
+
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "gqbed: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.Printf("gqbed: loading %s", *graphPath)
+	start := time.Now()
+	eng, err := gqbe.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("gqbed: %v", err)
+	}
+	log.Printf("gqbed: %d entities, %d facts, %d predicates preprocessed in %v",
+		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), time.Since(start).Round(time.Millisecond))
+
+	cfg := server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueueWait:   *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheEntries,
+		CacheShards:    *cacheShards,
+	}.WithDefaults()
+	srv := server.New(eng, cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bodies are at most ~1MB (the handler enforces it), so a stalled
+		// or trickled upload must not pin a goroutine past this.
+		ReadTimeout: 30 * time.Second,
+		// The write window must cover the longest allowed request — queue
+		// wait plus query deadline — and the response itself; a finite
+		// bound keeps slow-reading clients from holding connections (and
+		// their handler goroutines) forever.
+		WriteTimeout: cfg.MaxQueueWait + cfg.MaxTimeout + 30*time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gqbed: serving on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gqbed: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("gqbed: shutting down, draining in-flight requests")
+	// The drain window must cover the longest request the server itself
+	// admits: full queue wait plus the maximum query deadline.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(),
+		cfg.MaxQueueWait+cfg.MaxTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("gqbed: shutdown: %v", err)
+	}
+	log.Printf("gqbed: bye")
+}

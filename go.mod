@@ -1,0 +1,3 @@
+module gqbe
+
+go 1.21

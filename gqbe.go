@@ -31,6 +31,7 @@
 package gqbe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,8 +39,13 @@ import (
 
 	"gqbe/internal/core"
 	"gqbe/internal/graph"
+	"gqbe/internal/topk"
 	"gqbe/internal/triples"
 )
+
+// ErrUnknownEntity is wrapped by query errors when a query tuple names an
+// entity absent from the knowledge graph; test with errors.Is.
+var ErrUnknownEntity = errors.New("unknown entity")
 
 // Options tunes a query. Nil or zero fields select the paper's defaults.
 type Options struct {
@@ -58,6 +64,22 @@ type Options struct {
 	MaxRows int
 	// MaxEvaluations caps evaluated lattice nodes (default unlimited).
 	MaxEvaluations int
+}
+
+// Normalized returns a copy of o with the engine's defaults made explicit —
+// the exact values a query with these options runs with. Nil receives all
+// defaults. Two Options that normalize equal describe the same query, which
+// makes the normalized form a sound result-cache key component.
+func (o *Options) Normalized() Options {
+	c := o.toCore().Normalize()
+	return Options{
+		K:              c.K,
+		KPrime:         c.KPrime,
+		Depth:          c.Depth,
+		MQGSize:        c.MQGSize,
+		MaxRows:        c.MaxRows,
+		MaxEvaluations: c.MaxEvaluations,
+	}
 }
 
 func (o *Options) toCore() core.Options {
@@ -96,6 +118,11 @@ type Stats struct {
 	MQGEdges int
 	// NodesEvaluated is the number of lattice query graphs evaluated.
 	NodesEvaluated int
+	// Stopped says why the lattice search returned: "topk-proven" (the
+	// top-k answers were provably final), "frontier-exhausted" (the whole
+	// reachable lattice was explored), or "max-evaluations" (the
+	// MaxEvaluations safety valve fired).
+	Stopped string
 	// Terminated reports whether the top-k proof stopped the search early.
 	Terminated bool
 }
@@ -189,11 +216,20 @@ func (e *Engine) HasEntity(name string) bool {
 // entities (1–3 is typical), and the result holds the top-k most similar
 // answer tuples, best first. The example tuple itself is never returned.
 func (e *Engine) Query(entities []string, opts *Options) (*Result, error) {
+	return e.QueryCtx(context.Background(), entities, opts)
+}
+
+// QueryCtx is Query under a context. The entire pipeline — query graph
+// discovery, lattice construction, and the best-first search with its hash
+// joins — observes ctx, so callers can bound a query with a deadline or
+// cancel a runaway search; the query then fails with an error wrapping
+// ctx.Err() (context.DeadlineExceeded or context.Canceled).
+func (e *Engine) QueryCtx(ctx context.Context, entities []string, opts *Options) (*Result, error) {
 	tuple, err := e.resolve(entities)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.eng.Query(tuple, opts.toCore())
+	res, err := e.eng.QueryCtx(ctx, tuple, opts.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
@@ -204,6 +240,12 @@ func (e *Engine) Query(entities []string, opts *Options) (*Result, error) {
 // are combined into one merged query intent, which usually sharpens results
 // (§III-D, Table V of the paper).
 func (e *Engine) QueryMulti(tuples [][]string, opts *Options) (*Result, error) {
+	return e.QueryMultiCtx(context.Background(), tuples, opts)
+}
+
+// QueryMultiCtx is QueryMulti under a context, with the same cancellation
+// semantics as QueryCtx.
+func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]string, opts *Options) (*Result, error) {
 	if len(tuples) == 0 {
 		return nil, errors.New("gqbe: no query tuples")
 	}
@@ -215,7 +257,7 @@ func (e *Engine) QueryMulti(tuples [][]string, opts *Options) (*Result, error) {
 		}
 		resolved[i] = tuple
 	}
-	res, err := e.eng.QueryMulti(resolved, opts.toCore())
+	res, err := e.eng.QueryMultiCtx(ctx, resolved, opts.toCore())
 	if err != nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
@@ -230,7 +272,7 @@ func (e *Engine) resolve(entities []string) ([]graph.NodeID, error) {
 	for i, name := range entities {
 		id, ok := e.eng.Graph().Node(name)
 		if !ok {
-			return nil, fmt.Errorf("gqbe: unknown entity %q", name)
+			return nil, fmt.Errorf("gqbe: %w %q", ErrUnknownEntity, name)
 		}
 		tuple[i] = id
 	}
@@ -245,7 +287,10 @@ func (e *Engine) wrap(res *core.Result) *Result {
 			Processing:     res.Stats.Processing,
 			MQGEdges:       res.Stats.MQGEdges,
 			NodesEvaluated: res.Stats.NodesEvaluated,
-			Terminated:     res.Stats.Terminated,
+			Stopped:        string(res.Stats.Stopped),
+			// Terminated is derived here, once: the engine layers carry only
+			// the Stopped reason.
+			Terminated: res.Stats.Stopped == topk.StopProven,
 		},
 	}
 	for _, a := range res.Answers {

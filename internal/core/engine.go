@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -48,6 +49,19 @@ func (o *Options) fill() {
 	}
 }
 
+// Normalize returns o with every default made explicit — exactly the values
+// Query would run with, including the search-stage defaults (KPrime,
+// MaxRows) applied by the top-k layer. Two Options that normalize equal
+// describe the same query plan, which is what result-cache keys need.
+func (o Options) Normalize() Options {
+	o.fill()
+	t := topk.Options{K: o.K, KPrime: o.KPrime, MaxRows: o.MaxRows, MaxEvaluations: o.MaxEvaluations}
+	t.Fill()
+	o.KPrime = t.KPrime
+	o.MaxRows = t.MaxRows
+	return o
+}
+
 // Stats reports where one query spent its time and work, matching the
 // quantities §VI breaks out (Table VI, Figs. 14–16).
 type Stats struct {
@@ -61,10 +75,10 @@ type Stats struct {
 	Processing time.Duration
 	// MQGEdges is the edge cardinality of the (merged) MQG.
 	MQGEdges int
-	// NodesEvaluated / NullNodes / Terminated mirror topk.Result.
+	// NodesEvaluated / NullNodes / Stopped mirror topk.Result.
 	NodesEvaluated int
 	NullNodes      int
-	Terminated     bool
+	Stopped        topk.StopReason
 }
 
 // Result is a ranked answer list plus its query statistics.
@@ -98,12 +112,18 @@ func (e *Engine) Store() *storage.Store { return e.store }
 // DiscoverMQG runs query graph discovery for one tuple: neighborhood
 // extraction, reduction, and Alg. 1.
 func (e *Engine) DiscoverMQG(tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
+	return e.DiscoverMQGCtx(context.Background(), tuple, opts)
+}
+
+// DiscoverMQGCtx is DiscoverMQG under a cancellation context, checked between
+// the discovery phases.
+func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
 	opts.fill()
-	nres, err := neighborhood.Extract(e.g, tuple, opts.Depth)
+	nres, err := neighborhood.ExtractCtx(ctx, e.g, tuple, opts.Depth)
 	if err != nil {
 		return nil, err
 	}
-	m, err := mqg.Discover(e.stats, nres.Reduced, tuple, opts.MQGSize)
+	m, err := mqg.DiscoverCtx(ctx, e.stats, nres.Reduced, tuple, opts.MQGSize)
 	if err != nil {
 		return nil, err
 	}
@@ -117,14 +137,22 @@ func (e *Engine) Lattice(m *mqg.MQG) (*lattice.Lattice, error) {
 
 // Query answers a single-tuple query end to end.
 func (e *Engine) Query(tuple []graph.NodeID, opts Options) (*Result, error) {
+	return e.QueryCtx(context.Background(), tuple, opts)
+}
+
+// QueryCtx is Query under a cancellation context: every pipeline phase —
+// discovery, lattice construction, and the best-first search with its hash
+// joins — observes ctx, so a canceled or expired context aborts the query
+// promptly with the context's error.
+func (e *Engine) QueryCtx(ctx context.Context, tuple []graph.NodeID, opts Options) (*Result, error) {
 	opts.fill()
 	start := time.Now()
-	m, err := e.DiscoverMQG(tuple, opts)
+	m, err := e.DiscoverMQGCtx(ctx, tuple, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: query graph discovery: %w", err)
 	}
 	discovery := time.Since(start)
-	res, err := e.searchMQG(m, [][]graph.NodeID{tuple}, opts)
+	res, err := e.searchMQG(ctx, m, [][]graph.NodeID{tuple}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -136,18 +164,23 @@ func (e *Engine) Query(tuple []graph.NodeID, opts Options) (*Result, error) {
 // discovered per tuple, merged and re-weighted, and the merged MQG is
 // processed like a single-tuple query.
 func (e *Engine) QueryMulti(tuples [][]graph.NodeID, opts Options) (*Result, error) {
+	return e.QueryMultiCtx(context.Background(), tuples, opts)
+}
+
+// QueryMultiCtx is QueryMulti under a cancellation context (see QueryCtx).
+func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]graph.NodeID, opts Options) (*Result, error) {
 	opts.fill()
 	if len(tuples) == 0 {
 		return nil, errors.New("core: no query tuples")
 	}
 	if len(tuples) == 1 {
-		return e.Query(tuples[0], opts)
+		return e.QueryCtx(ctx, tuples[0], opts)
 	}
 	var discovery time.Duration
 	mqgs := make([]*mqg.MQG, 0, len(tuples))
 	for _, t := range tuples {
 		start := time.Now()
-		m, err := e.DiscoverMQG(t, opts)
+		m, err := e.DiscoverMQGCtx(ctx, t, opts)
 		discovery += time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("core: query graph discovery: %w", err)
@@ -155,12 +188,12 @@ func (e *Engine) QueryMulti(tuples [][]graph.NodeID, opts Options) (*Result, err
 		mqgs = append(mqgs, m)
 	}
 	start := time.Now()
-	merged, err := mqg.Merge(mqgs, opts.MQGSize)
+	merged, err := mqg.MergeCtx(ctx, mqgs, opts.MQGSize)
 	mergeTime := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("core: merging MQGs: %w", err)
 	}
-	res, err := e.searchMQG(merged, tuples, opts)
+	res, err := e.searchMQG(ctx, merged, tuples, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -170,13 +203,13 @@ func (e *Engine) QueryMulti(tuples [][]graph.NodeID, opts Options) (*Result, err
 }
 
 // searchMQG builds the lattice and runs the best-first search.
-func (e *Engine) searchMQG(m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (*Result, error) {
-	lat, err := lattice.New(m)
+func (e *Engine) searchMQG(ctx context.Context, m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	lat, err := lattice.NewCtx(ctx, m)
 	if err != nil {
 		return nil, fmt.Errorf("core: building query lattice: %w", err)
 	}
 	start := time.Now()
-	tres, err := topk.Search(e.store, lat, exclude, topk.Options{
+	tres, err := topk.SearchCtx(ctx, e.store, lat, exclude, topk.Options{
 		K:              opts.K,
 		KPrime:         opts.KPrime,
 		MaxRows:        opts.MaxRows,
@@ -193,7 +226,7 @@ func (e *Engine) searchMQG(m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (
 			MQGEdges:       len(m.Sub.Edges),
 			NodesEvaluated: tres.NodesEvaluated,
 			NullNodes:      tres.NullNodes,
-			Terminated:     tres.Terminated,
+			Stopped:        tres.Stopped,
 		},
 	}, nil
 }

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,6 +34,12 @@ const DefaultMaxRows = 5_000_000
 // ErrTooManyRows reports a join blow-up beyond the configured row budget.
 var ErrTooManyRows = errors.New("exec: intermediate result exceeds row budget")
 
+// cancelCheckInterval is how many probe/output rows a join processes between
+// context checks. Checking per row would put an atomic load on the innermost
+// loop; a few thousand rows keeps cancellation latency well under a
+// millisecond on any hardware that can run the join at all.
+const cancelCheckInterval = 4096
+
 // Row is one answer graph: the data node bound to each query-graph node
 // slot. Slot order is fixed by the Evaluator (see NodeAt).
 type Row []graph.NodeID
@@ -43,6 +50,7 @@ type Evaluator struct {
 	store   *storage.Store
 	lat     *lattice.Lattice
 	maxRows int
+	ctx     context.Context
 
 	nodes   []graph.NodeID       // slot → MQG node
 	slotOf  map[graph.NodeID]int // MQG node → slot
@@ -64,12 +72,23 @@ func WithMaxRows(n int) Option {
 	return func(ev *Evaluator) { ev.maxRows = n }
 }
 
+// WithContext attaches a cancellation context: joins abort with the context's
+// error at batch boundaries (every few thousand rows) once it is done.
+func WithContext(ctx context.Context) Option {
+	return func(ev *Evaluator) {
+		if ctx != nil {
+			ev.ctx = ctx
+		}
+	}
+}
+
 // New builds an evaluator for the query lattice l over store s.
 func New(s *storage.Store, l *lattice.Lattice, opts ...Option) *Evaluator {
 	ev := &Evaluator{
 		store:   s,
 		lat:     l,
 		maxRows: DefaultMaxRows,
+		ctx:     context.Background(),
 		slotOf:  make(map[graph.NodeID]int),
 		results: make(map[lattice.EdgeSet][]Row),
 	}
@@ -146,6 +165,9 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) ([]Row, error) {
 	}
 	if q == 0 {
 		return nil, errors.New("exec: empty query graph")
+	}
+	if err := ev.ctx.Err(); err != nil {
+		return nil, err
 	}
 	ev.evaluated++
 
@@ -249,19 +271,23 @@ func (ev *Evaluator) scanEdge(i int) ([]Row, error) {
 		return nil, fmt.Errorf("%w: base scan of %d rows", ErrTooManyRows, len(pairs))
 	}
 	rows := make([]Row, 0, len(pairs))
-	for _, p := range pairs {
+	for n, p := range pairs {
+		if n%cancelCheckInterval == 0 {
+			if err := ev.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if ss == ds {
 			// self-loop query edge: subject and object must coincide
 			if p.Subj != p.Obj {
 				continue
 			}
+		} else if p.Subj == p.Obj {
+			continue // injectivity: two distinct query nodes, one data node
 		}
 		row := ev.newRow()
 		row[ss] = p.Subj
 		row[ds] = p.Obj
-		if p.Subj == p.Obj && ss != ds {
-			continue // injectivity: two distinct query nodes, one data node
-		}
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -283,9 +309,17 @@ func (ev *Evaluator) joinEdge(rows []Row, i int) ([]Row, error) {
 		if len(out) > ev.maxRows {
 			return fmt.Errorf("%w: joining edge %d", ErrTooManyRows, i)
 		}
+		if len(out)%cancelCheckInterval == 0 {
+			return ev.ctx.Err()
+		}
 		return nil
 	}
-	for _, row := range rows {
+	for n, row := range rows {
+		if n%cancelCheckInterval == 0 {
+			if err := ev.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		bs, bd := row[ss] != Unbound, row[ds] != Unbound
 		switch {
 		case bs && bd:

@@ -11,6 +11,7 @@
 package lattice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -59,6 +60,13 @@ type Lattice struct {
 // New builds the lattice scaffolding for m and enumerates its minimal query
 // trees.
 func New(m *mqg.MQG) (*Lattice, error) {
+	return NewCtx(context.Background(), m)
+}
+
+// NewCtx is New under a cancellation context. Minimal-tree enumeration visits
+// every spanning tree of the MQG — worst-case exponential in the edge budget
+// — so it checks ctx periodically and aborts with the context's error.
+func NewCtx(ctx context.Context, m *mqg.MQG) (*Lattice, error) {
 	n := len(m.Sub.Edges)
 	if n == 0 {
 		return nil, errors.New("lattice: MQG has no edges")
@@ -91,7 +99,11 @@ func New(m *mqg.MQG) (*Lattice, error) {
 		}
 		l.entities = append(l.entities, i)
 	}
-	l.minimalTrees = l.enumerateMinimalTrees()
+	trees, err := l.enumerateMinimalTrees(ctx)
+	if err != nil {
+		return nil, err
+	}
+	l.minimalTrees = trees
 	if len(l.minimalTrees) == 0 {
 		return nil, errors.New("lattice: no minimal query trees (MQG does not connect the query entities)")
 	}
@@ -237,18 +249,22 @@ func (l *Lattice) Children(q EdgeSet) []EdgeSet {
 // otherwise every spanning tree of the MQG is enumerated by backtracking and
 // trimmed by repeatedly deleting degree-1 non-entity nodes, and the distinct
 // results are collected (§IV-A).
-func (l *Lattice) enumerateMinimalTrees() []EdgeSet {
+func (l *Lattice) enumerateMinimalTrees(ctx context.Context) ([]EdgeSet, error) {
 	if len(l.entities) == 1 {
 		var out []EdgeSet
 		for r := l.incident[l.entities[0]]; r != 0; r &= r - 1 {
 			out = append(out, Bit(bits.TrailingZeros64(uint64(r))))
 		}
-		return out
+		return out, nil
 	}
 	distinct := make(map[EdgeSet]bool)
-	l.spanningTrees(func(tree []int) {
+	err := l.spanningTrees(ctx, func(tree []int) error {
 		distinct[l.trim(tree)] = true
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]EdgeSet, 0, len(distinct))
 	for q := range distinct {
 		if q != 0 {
@@ -256,31 +272,41 @@ func (l *Lattice) enumerateMinimalTrees() []EdgeSet {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // spanningTrees enumerates all spanning trees of the MQG by backtracking
-// over edges in index order, maintaining a union-find to reject cycles.
-func (l *Lattice) spanningTrees(emit func([]int)) {
+// over edges in index order, maintaining a union-find to reject cycles. A
+// non-nil error from emit aborts the enumeration and is returned. ctx is
+// checked on a recursion-step counter — not only at emits — because whole
+// backtracking subtrees can be emit-free (a bridge edge skipped early makes
+// every completion impossible) yet still exponentially large.
+func (l *Lattice) spanningTrees(ctx context.Context, emit func([]int) error) error {
 	nv := len(l.nodes)
 	need := nv - 1
 	var chosen []int
+	steps := 0
 	// parent array union-find with rollback via full copies: the graphs are
 	// tiny (≤ 64 edges, ≤ 65 nodes), so simplicity wins.
-	var rec func(next int, parent []int, count int)
+	var rec func(next int, parent []int, count int) error
 	find := func(parent []int, x int) int {
 		for parent[x] != x {
 			x = parent[x]
 		}
 		return x
 	}
-	rec = func(next int, parent []int, count int) {
+	rec = func(next int, parent []int, count int) error {
+		steps++
+		if steps%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if count == need {
-			emit(chosen)
-			return
+			return emit(chosen)
 		}
 		if l.n-next < need-count {
-			return // not enough edges left
+			return nil // not enough edges left
 		}
 		for i := next; i < l.n; i++ {
 			ra, rb := find(parent, l.srcIdx[i]), find(parent, l.dstIdx[i])
@@ -291,18 +317,22 @@ func (l *Lattice) spanningTrees(emit func([]int)) {
 			copy(np, parent)
 			np[ra] = rb
 			chosen = append(chosen, i)
-			rec(i+1, np, count+1)
+			err := rec(i+1, np, count+1)
 			chosen = chosen[:len(chosen)-1]
+			if err != nil {
+				return err
+			}
 			if l.n-(i+1) < need-count {
 				break
 			}
 		}
+		return nil
 	}
 	parent := make([]int, nv)
 	for i := range parent {
 		parent[i] = i
 	}
-	rec(0, parent, 0)
+	return rec(0, parent, 0)
 }
 
 // trim removes degree-1 non-entity nodes (and their edges) from a tree until

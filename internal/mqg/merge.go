@@ -1,6 +1,7 @@
 package mqg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,14 @@ import (
 // single-tuple discovery (Alg. 1), with the virtual entities as the query
 // tuple.
 func Merge(mqgs []*MQG, r int) (*MQG, error) {
+	return MergeCtx(context.Background(), mqgs, r)
+}
+
+// MergeCtx is Merge under a cancellation context, observed when the merged
+// graph exceeds the budget and is trimmed (via discoverWeighted's per-part
+// checks); the union itself is over already-budget-bounded MQGs and is
+// cheap enough to run to completion.
+func MergeCtx(ctx context.Context, mqgs []*MQG, r int) (*MQG, error) {
 	if len(mqgs) == 0 {
 		return nil, errors.New("mqg: no MQGs to merge")
 	}
@@ -84,7 +93,7 @@ func Merge(mqgs []*MQG, r int) (*MQG, error) {
 
 	sub := graph.NewSubGraph(edges)
 	if len(sub.Edges) > r {
-		trimmed, err := discoverWeighted(sub, weights, virtualTuple, r)
+		trimmed, err := discoverWeighted(ctx, sub, weights, virtualTuple, r)
 		if err != nil {
 			return nil, fmt.Errorf("mqg: trimming merged MQG: %w", err)
 		}

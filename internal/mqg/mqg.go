@@ -13,6 +13,7 @@
 package mqg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -97,6 +98,14 @@ func NodeName(g *graph.Graph, v graph.NodeID) string {
 // balanced share of the edge budget r, unions the results, and re-weights
 // the surviving edges with the depth-discounted Eq. 8.
 func Discover(st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r int) (*MQG, error) {
+	return DiscoverCtx(context.Background(), st, reduced, tuple, r)
+}
+
+// DiscoverCtx is Discover under a cancellation context. Alg. 1's cost grows
+// with the reduced neighborhood, so the weighting and trimming phases check
+// ctx between scans; the largest uncancellable chunk is one pass over the
+// reduced edges.
+func DiscoverCtx(ctx context.Context, st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r int) (*MQG, error) {
 	if len(tuple) == 0 {
 		return nil, errors.New("mqg: empty query tuple")
 	}
@@ -109,11 +118,14 @@ func Discover(st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r 
 	if !reduced.ContainsAll(tuple) {
 		return nil, errors.New("mqg: reduced neighborhood graph does not contain all query entities")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	weights := make([]float64, len(reduced.Edges))
 	for i, e := range reduced.Edges {
 		weights[i] = st.Weight(e) // Eq. 2 while discovering
 	}
-	sub, err := discoverWeighted(reduced, weights, tuple, r)
+	sub, err := discoverWeighted(ctx, reduced, weights, tuple, r)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +139,11 @@ func Discover(st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r 
 }
 
 // discoverWeighted is the weight-agnostic body of Alg. 1, shared by Discover
-// and by Merge's trimming step.
-func discoverWeighted(reduced *graph.SubGraph, weights []float64, tuple []graph.NodeID, r int) (*graph.SubGraph, error) {
+// and by Merge's trimming step. ctx is checked between per-part trims.
+func discoverWeighted(ctx context.Context, reduced *graph.SubGraph, weights []float64, tuple []graph.NodeID, r int) (*graph.SubGraph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parts := decompose(reduced, weights, tuple)
 	m := r / len(parts) // line 1 of Alg. 1: balanced per-component budget
 	if m < 1 {
@@ -136,6 +151,9 @@ func discoverWeighted(reduced *graph.SubGraph, weights []float64, tuple []graph.
 	}
 	var union []graph.Edge
 	for _, p := range parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ms := greedyTrim(p.edges, p.weights, p.required, m)
 		union = append(union, ms.Edges...)
 	}

@@ -11,11 +11,16 @@
 package neighborhood
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"gqbe/internal/graph"
 )
+
+// cancelCheckInterval is how many nodes/edges a scan processes between
+// context checks; matches the granularity the join executor uses.
+const cancelCheckInterval = 4096
 
 // ErrDisconnected is returned when the query entities are not weakly
 // connected within the path-length threshold, i.e. no neighborhood graph
@@ -37,6 +42,14 @@ type Result struct {
 // Extract builds H_t and H'_t for the query tuple over data graph g with
 // path-length threshold d.
 func Extract(g *graph.Graph, tuple []graph.NodeID, d int) (*Result, error) {
+	return ExtractCtx(context.Background(), g, tuple, d)
+}
+
+// ExtractCtx is Extract under a cancellation context. Extraction cost grows
+// with the d-hop neighborhood (the whole graph, for hub-adjacent tuples at
+// larger d), so the edge and reduction scans check ctx periodically; the
+// largest uncancellable chunk is one BFS distance pass.
+func ExtractCtx(ctx context.Context, g *graph.Graph, tuple []graph.NodeID, d int) (*Result, error) {
 	if len(tuple) == 0 {
 		return nil, errors.New("neighborhood: empty query tuple")
 	}
@@ -56,9 +69,15 @@ func Extract(g *graph.Graph, tuple []graph.NodeID, d int) (*Result, error) {
 		seen[v] = true
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dist := g.UndirectedDistances(tuple, d)
-	ht := extractEdges(g, dist, d)
-	reduced, err := reduce(g, ht, tuple, dist, d)
+	ht, err := extractEdges(ctx, g, dist, d)
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := reduce(ctx, g, ht, tuple, dist, d)
 	if err != nil {
 		return nil, err
 	}
@@ -69,9 +88,16 @@ func Extract(g *graph.Graph, tuple []graph.NodeID, d int) (*Result, error) {
 // dist ≤ d; an edge (u,v) is in E(H_t) iff min(dist(u), dist(v)) ≤ d−1,
 // since it then lies on an undirected path of length ≤ d from a query
 // entity (walk to the nearer endpoint, then cross the edge).
-func extractEdges(g *graph.Graph, dist map[graph.NodeID]int, d int) *graph.SubGraph {
+func extractEdges(ctx context.Context, g *graph.Graph, dist map[graph.NodeID]int, d int) (*graph.SubGraph, error) {
 	var edges []graph.Edge
+	n := 0
 	for v, dv := range dist {
+		n++
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if dv > d-1 {
 			continue
 		}
@@ -85,7 +111,7 @@ func extractEdges(g *graph.Graph, dist map[graph.NodeID]int, d int) *graph.SubGr
 			edges = append(edges, graph.Edge{Src: a.Node, Label: a.Label, Dst: v})
 		}
 	}
-	return graph.NewSubGraph(edges)
+	return graph.NewSubGraph(edges), nil
 }
 
 // labelDir keys the (label, orientation) pair that defines UE membership:
@@ -146,7 +172,7 @@ func avoidBFS(ht *graph.SubGraph, adj map[graph.NodeID][]int, tuple []graph.Node
 //
 // e ∈ UE(x) iff e ∉ IE(x) and some e' ∈ IE(x) shares e's label and
 // orientation at x. An edge is unimportant iff it is in UE(u) or UE(v).
-func reduce(g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[graph.NodeID]int, d int) (*graph.SubGraph, error) {
+func reduce(ctx context.Context, g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[graph.NodeID]int, d int) (*graph.SubGraph, error) {
 	isEntity := make(map[graph.NodeID]bool, len(tuple))
 	for _, v := range tuple {
 		isEntity[v] = true
@@ -156,6 +182,9 @@ func reduce(g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[g
 	adj := ht.Adjacency()
 	distOther := make(map[graph.NodeID]map[graph.NodeID]int, len(tuple))
 	for _, vi := range tuple {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		distOther[vi] = avoidBFS(ht, adj, tuple, vi, d-1)
 	}
 	reaches := func(from, avoiding graph.NodeID) bool {
@@ -181,7 +210,12 @@ func reduce(g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[g
 		fromDst = isEntity[e.Src] || reaches(e.Src, e.Dst)
 		return
 	}
-	for _, e := range ht.Edges {
+	for i, e := range ht.Edges {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		fromSrc, fromDst := inIE(e)
 		if fromSrc {
 			addIE(e.Src, labelDir{e.Label, true})
@@ -192,7 +226,12 @@ func reduce(g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[g
 	}
 	// Pass 2: keep edges that are not unimportant from either endpoint.
 	kept := make([]graph.Edge, 0, len(ht.Edges))
-	for _, e := range ht.Edges {
+	for i, e := range ht.Edges {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		fromSrc, fromDst := inIE(e)
 		ueSrc := !fromSrc && ie[e.Src][labelDir{e.Label, true}]
 		ueDst := !fromDst && ie[e.Dst][labelDir{e.Label, false}]

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errSaturated reports that every worker slot stayed busy for the whole
+// admission wait; the request is shed rather than queued unboundedly.
+var errSaturated = errors.New("server: saturated, try again later")
+
+// admission is the bounded worker-pool gate: at most `capacity` lattice
+// searches run at once, and a request waits at most maxWait for a slot.
+// Bounding concurrency bounds peak memory — each search materializes join
+// results up to MaxRows rows — and shedding beyond the wait keeps latency
+// finite under overload instead of queueing without limit.
+type admission struct {
+	slots   chan struct{}
+	maxWait time.Duration
+}
+
+func newAdmission(capacity int, maxWait time.Duration) *admission {
+	a := &admission{slots: make(chan struct{}, capacity), maxWait: maxWait}
+	for i := 0; i < capacity; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire takes a worker slot, waiting up to maxWait. It returns
+// errSaturated when the wait elapses and ctx.Err() when the request is
+// canceled first (client gone or deadline already spent queueing).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case <-a.slots:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case <-a.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return errSaturated
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() { a.slots <- struct{}{} }
+
+// busy returns the number of slots currently held.
+func (a *admission) busy() int { return cap(a.slots) - len(a.slots) }

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"gqbe"
+)
+
+// resultCache is a sharded LRU cache of query results keyed by the
+// normalized (tuples, options) form of a request. Sharding keeps lock
+// contention negligible under concurrent serving: each key hashes to one
+// shard, and each shard is an independently locked LRU list.
+//
+// Cached *gqbe.Result values are shared between requests and must be treated
+// as immutable by every reader.
+type resultCache struct {
+	shards []*cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// cacheShard is one independently locked LRU segment.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// cacheEntry is the list payload: the key is duplicated so eviction from the
+// list tail can delete the map entry.
+type cacheEntry struct {
+	key string
+	val *gqbe.Result
+}
+
+// newResultCache builds a cache of at most entries results spread over
+// nshards shards. Returns nil (a valid, always-miss cache) when entries <= 0.
+func newResultCache(entries, nshards int) *resultCache {
+	if entries <= 0 {
+		return nil
+	}
+	if nshards <= 0 {
+		nshards = 16
+	}
+	if nshards > entries {
+		nshards = entries
+	}
+	c := &resultCache{shards: make([]*cacheShard, nshards)}
+	per := (entries + nshards - 1) / nshards
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			order:    list.New(),
+			items:    make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard owning key with an inline FNV-1a over the string
+// — allocation-free, unlike hash/fnv + []byte(key) on the serving hot path.
+func (c *resultCache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// get returns the cached result for key, promoting it to most recently used.
+func (c *resultCache) get(key string) (*gqbe.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val *gqbe.Result
+	if ok {
+		s.order.MoveToFront(el)
+		// Copy the value while still holding the lock: put's refresh path
+		// mutates entry.val under it.
+		val = el.Value.(*cacheEntry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// put inserts (or refreshes) key's result, evicting the least recently used
+// entry of the shard when it is full.
+func (c *resultCache) put(key string, val *gqbe.Result) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	evicted := false
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.order.MoveToFront(el)
+	} else {
+		if s.order.Len() >= s.capacity {
+			tail := s.order.Back()
+			if tail != nil {
+				s.order.Remove(tail)
+				delete(s.items, tail.Value.(*cacheEntry).key)
+				evicted = true
+			}
+		}
+		s.items[key] = s.order.PushFront(&cacheEntry{key: key, val: val})
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the number of cached results across all shards.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// counters returns the lifetime hit / miss / eviction counts.
+func (c *resultCache) counters() (hits, misses, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

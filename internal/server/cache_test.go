@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"gqbe"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard makes the LRU order observable.
+	c := newResultCache(2, 1)
+	r1, r2, r3 := &gqbe.Result{}, &gqbe.Result{}, &gqbe.Result{}
+
+	c.put("a", r1)
+	c.put("b", r2)
+	if got, ok := c.get("a"); !ok || got != r1 {
+		t.Fatal("a missing after insert")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.put("c", r3)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite being most recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing after insert")
+	}
+	if _, _, ev := c.counters(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newResultCache(8, 2)
+	c.put("x", &gqbe.Result{})
+	c.get("x")
+	c.get("x")
+	c.get("missing")
+	hits, misses, _ := c.counters()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0, 4) // entries <= 0 disables: nil cache, all ops no-op
+	if c != nil {
+		t.Fatal("expected nil cache for 0 entries")
+	}
+	c.put("x", &gqbe.Result{})
+	if _, ok := c.get("x"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache has entries")
+	}
+}
+
+func TestCacheKeyNormalization(t *testing.T) {
+	defaults := queryRequest{Tuple: []string{"A", "B"}}
+	explicit := queryRequest{Tuple: []string{"A", "B"}, K: 10, Depth: 2, MQGSize: 15}
+	mutated := queryRequest{Tuple: []string{"A", "B"}, K: 5}
+
+	key := func(q queryRequest) string {
+		tuples, opts, err := q.normalize()
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		return cacheKeyFor(tuples, opts)
+	}
+	if key(defaults) != key(explicit) {
+		t.Error("default-valued and explicit-default requests got different cache keys")
+	}
+	if key(defaults) == key(mutated) {
+		t.Error("k=5 and k=10 requests share a cache key")
+	}
+
+	// Separator safety: distinct tuple splits must never collide, even for
+	// entity names containing would-be separator bytes (lookup runs before
+	// entity validation, so a collision would serve a wrong result).
+	a := cacheKeyFor([][]string{{"AB", "C"}}, gqbe.Options{})
+	b := cacheKeyFor([][]string{{"A", "BC"}}, gqbe.Options{})
+	if a == b {
+		t.Error("tuple boundary ambiguity in cache key")
+	}
+	one := cacheKeyFor([][]string{{"A", "B"}}, gqbe.Options{})
+	two := cacheKeyFor([][]string{{"A"}, {"B"}}, gqbe.Options{})
+	if one == two {
+		t.Error("single-tuple and two-tuple requests share a cache key")
+	}
+	for _, hostile := range []string{"A\x1fB", "A\x1eB", "A|B", "A:B", "1:A"} {
+		if cacheKeyFor([][]string{{hostile}}, gqbe.Options{}) == cacheKeyFor([][]string{{"A", "B"}}, gqbe.Options{}) {
+			t.Errorf("entity %q collides with tuple [A B] in cache key", hostile)
+		}
+	}
+}
+
+func TestCacheShardDistribution(t *testing.T) {
+	c := newResultCache(1024, 16)
+	for i := 0; i < 1024; i++ {
+		c.put(fmt.Sprintf("key-%d", i), &gqbe.Result{})
+	}
+	// FNV-1a should spread keys; no shard may stay empty at 64x its share.
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		n := sh.order.Len()
+		sh.mu.Unlock()
+		if n == 0 {
+			t.Errorf("shard %d empty after 1024 inserts", i)
+		}
+	}
+}

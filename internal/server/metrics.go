@@ -1,0 +1,174 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverMetrics aggregates the serving counters exposed on /statz. All
+// counters are atomics; the latency ring has its own short-lived lock. The
+// struct is engine-wide: one instance per Server, shared by every request.
+type serverMetrics struct {
+	start time.Time
+
+	requests atomic.Uint64 // query requests received
+	served   atomic.Uint64 // query requests answered 2xx
+	errored  atomic.Uint64 // query requests failed (4xx/5xx), excluding shed, timed-out, and canceled ones
+	rejected atomic.Uint64 // query requests shed by admission (429)
+	timeouts atomic.Uint64 // query requests that hit their deadline (504); disjoint from errored
+	canceled atomic.Uint64 // query requests aborted by the client (context.Canceled); disjoint from errored
+	// requests == served + errored + rejected + timeouts + canceled (plus any still in flight).
+	cacheServ atomic.Uint64 // query requests answered from the result cache
+	inFlight  atomic.Int64  // query requests currently being handled
+
+	lat *latencyRing
+}
+
+func newServerMetrics(ringSize int) *serverMetrics {
+	return &serverMetrics{start: time.Now(), lat: newLatencyRing(ringSize)}
+}
+
+// latencyRing keeps the most recent engine-search latencies (successful and
+// failed; cache hits excluded) in a fixed ring so /statz can report
+// sliding-window percentiles without unbounded memory.
+type latencyRing struct {
+	mu     sync.Mutex
+	buf    []time.Duration
+	next   int
+	filled int
+}
+
+func newLatencyRing(size int) *latencyRing {
+	if size <= 0 {
+		size = 1024
+	}
+	return &latencyRing{buf: make([]time.Duration, size)}
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.filled < len(r.buf) {
+		r.filled++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the given quantiles (in [0,1]) over the ring's current
+// window, plus the number of samples. With no samples all quantiles are 0.
+func (r *latencyRing) quantiles(qs ...float64) ([]time.Duration, int) {
+	r.mu.Lock()
+	snap := make([]time.Duration, r.filled)
+	copy(snap, r.buf[:r.filled])
+	r.mu.Unlock()
+
+	out := make([]time.Duration, len(qs))
+	if len(snap) == 0 {
+		return out, 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, q := range qs {
+		// Round the rank up: upper quantiles must not underreport when the
+		// window is small (with 2 samples, p99 is the larger one).
+		idx := int(math.Ceil(q * float64(len(snap)-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(snap) {
+			idx = len(snap) - 1
+		}
+		out[i] = snap[idx]
+	}
+	return out, len(snap)
+}
+
+// statzCache is the cache section of a /statz snapshot.
+type statzCache struct {
+	Entries   int     `json:"entries"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// statzLatency is the latency section of a /statz snapshot, in milliseconds.
+type statzLatency struct {
+	P50     float64 `json:"p50_ms"`
+	P90     float64 `json:"p90_ms"`
+	P99     float64 `json:"p99_ms"`
+	Samples int     `json:"samples"`
+}
+
+// statzEngine describes the loaded knowledge graph.
+type statzEngine struct {
+	Entities   int `json:"entities"`
+	Facts      int `json:"facts"`
+	Predicates int `json:"predicates"`
+}
+
+// statzSnapshot is the full /statz response body.
+type statzSnapshot struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Served        uint64       `json:"served"`
+	Errors        uint64       `json:"errors"`
+	Rejected      uint64       `json:"rejected"`
+	Timeouts      uint64       `json:"timeouts"`
+	Canceled      uint64       `json:"canceled"`
+	CacheServed   uint64       `json:"cache_served"`
+	InFlight      int64        `json:"in_flight"`
+	BusyWorkers   int          `json:"busy_workers"`
+	QPS           float64      `json:"qps"`
+	Latency       statzLatency `json:"latency"`
+	Cache         statzCache   `json:"cache"`
+	Engine        statzEngine  `json:"engine"`
+}
+
+// snapshot assembles a consistent-enough view of the serving metrics: each
+// counter is read atomically; cross-counter skew of a few requests is fine
+// for a stats endpoint.
+func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine) statzSnapshot {
+	uptime := time.Since(m.start).Seconds()
+	qs, samples := m.lat.quantiles(0.50, 0.90, 0.99)
+	hits, misses, evictions := cache.counters()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	qps := 0.0
+	if uptime > 0 {
+		qps = float64(m.requests.Load()) / uptime
+	}
+	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return statzSnapshot{
+		UptimeSeconds: uptime,
+		Requests:      m.requests.Load(),
+		Served:        m.served.Load(),
+		Errors:        m.errored.Load(),
+		Rejected:      m.rejected.Load(),
+		Timeouts:      m.timeouts.Load(),
+		Canceled:      m.canceled.Load(),
+		CacheServed:   m.cacheServ.Load(),
+		InFlight:      m.inFlight.Load(),
+		BusyWorkers:   adm.busy(),
+		QPS:           qps,
+		Latency: statzLatency{
+			P50:     toMS(qs[0]),
+			P90:     toMS(qs[1]),
+			P99:     toMS(qs[2]),
+			Samples: samples,
+		},
+		Cache: statzCache{
+			Entries:   cache.len(),
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: evictions,
+			HitRate:   hitRate,
+		},
+		Engine: eng,
+	}
+}

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRingQuantiles(t *testing.T) {
+	r := newLatencyRing(4)
+	if qs, n := r.quantiles(0.5, 0.99); n != 0 || qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty ring: qs=%v n=%d", qs, n)
+	}
+
+	// Upper quantiles must not underreport on tiny windows: with one fast
+	// and one slow sample, p99 is the slow one.
+	r.record(time.Millisecond)
+	r.record(80 * time.Millisecond)
+	qs, n := r.quantiles(0.5, 0.99)
+	if n != 2 {
+		t.Fatalf("samples = %d, want 2", n)
+	}
+	if qs[1] != 80*time.Millisecond {
+		t.Errorf("p99 = %v, want 80ms (the slower sample)", qs[1])
+	}
+
+	// Overfill: the ring keeps only the most recent len(buf) samples.
+	for i := 1; i <= 10; i++ {
+		r.record(time.Duration(i) * time.Second)
+	}
+	qs, n = r.quantiles(0, 1)
+	if n != 4 {
+		t.Fatalf("samples after overfill = %d, want 4", n)
+	}
+	if qs[0] != 7*time.Second || qs[1] != 10*time.Second {
+		t.Errorf("min/max = %v/%v, want 7s/10s (most recent window)", qs[0], qs[1])
+	}
+}

@@ -1,0 +1,551 @@
+// Package server is the gqbed serving subsystem: an HTTP JSON API over one
+// shared gqbe.Engine, designed for the paper's interactive workload (§V-A:
+// sub-second ranked answers over a pre-hashed in-memory graph) at production
+// concurrency. Three mechanisms make the engine servable:
+//
+//   - a bounded worker-pool admission layer, so N concurrent lattice
+//     searches cannot exhaust memory (each search may materialize join
+//     results up to its row budget); excess load is shed with 429 after a
+//     bounded queue wait instead of queueing without limit;
+//   - a sharded LRU result cache keyed by the normalized (tuples, options)
+//     request, with hit/miss/eviction counters — identical repeat queries
+//     are answered without touching the engine;
+//   - per-request deadlines threaded as context.Context through the whole
+//     pipeline (discovery, lattice construction, best-first search, hash
+//     joins), so a runaway query is abandoned at the next discovery-scan,
+//     node-evaluation, or join-batch boundary and the client gets a timeout
+//     error.
+//
+// Endpoints: POST /v1/query (single- and multi-tuple queries),
+// GET /v1/entity/{name}, GET /healthz, GET /statz.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gqbe"
+	"gqbe/internal/exec"
+)
+
+// Server-side caps on client-tunable options. The admission layer bounds
+// peak memory only if each search's own budgets are bounded too — a client
+// must not be able to raise the row budget (or blow up the lattice) past
+// what the operator provisioned for. The MQG cap stays near the paper's
+// r≈15: minimal-tree enumeration visits every spanning tree of the MQG,
+// which grows exponentially with its edge count, so the library's 64-edge
+// ceiling is not safe to expose to untrusted clients.
+const (
+	maxClientK       = 1000
+	maxClientKPrime  = 4000
+	maxClientDepth   = 4
+	maxClientMQGSize = 20
+	maxClientRows    = exec.DefaultMaxRows
+	// maxClientTuples bounds a multi-tuple query: each tuple costs a full
+	// discovery pass before merging, so the count is a budget like any
+	// other (the paper's multi-tuple experiments use 2-3 tuples).
+	maxClientTuples = 16
+	// maxClientArity bounds entities per tuple: neighborhood reduction runs
+	// one avoiding-BFS per query entity (the paper's tuples have 1-3).
+	maxClientArity = 8
+)
+
+// Config tunes a Server. Zero fields select the defaults documented on each
+// field.
+type Config struct {
+	// MaxConcurrent bounds simultaneous lattice searches (default 8).
+	MaxConcurrent int
+	// MaxQueueWait is how long a request may wait for a worker slot before
+	// being shed with 429 (default 1s).
+	MaxQueueWait time.Duration
+	// DefaultTimeout is the per-query deadline when the request does not ask
+	// for one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a request may ask for (default 60s).
+	MaxTimeout time.Duration
+	// CacheEntries is the result cache capacity in entries (default 1024);
+	// negative disables caching.
+	CacheEntries int
+	// CacheShards is the number of independently locked cache shards
+	// (default 16).
+	CacheShards int
+	// CacheMaxEntryBytes skips caching results whose approximate size
+	// exceeds it (default 256KiB): an entry-count bound alone would let a
+	// few huge k=1000 results pin unbounded memory.
+	CacheMaxEntryBytes int
+	// LatencyWindow is the number of recent query latencies kept for the
+	// /statz percentiles (default 1024).
+	LatencyWindow int
+}
+
+// WithDefaults returns c with every unset field filled in and the
+// MaxTimeout ≥ DefaultTimeout invariant applied — the effective policy the
+// server runs with. Callers deriving dependent settings (e.g. an HTTP
+// WriteTimeout covering the longest allowed query) should read this rather
+// than re-implementing the defaulting rules.
+func (c Config) WithDefaults() Config {
+	c.fill()
+	return c
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	// MaxTimeout caps every effective deadline, including the default one.
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheMaxEntryBytes <= 0 {
+		c.CacheMaxEntryBytes = 256 << 10
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+}
+
+// maxBodyBytes bounds a query request body; tuples are entity names, so even
+// generous multi-tuple queries are far below this.
+const maxBodyBytes = 1 << 20
+
+// Server serves query-by-example requests over one immutable engine. It is
+// an http.Handler; all state it mutates is safe for concurrent use.
+type Server struct {
+	eng   *gqbe.Engine
+	cfg   Config
+	adm   *admission
+	cache *resultCache
+	met   *serverMetrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server over eng with cfg's serving policy.
+func New(eng *gqbe.Engine, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
+		cache: newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		met:   newServerMetrics(cfg.LatencyWindow),
+		mux:   http.NewServeMux(),
+	}
+	// Method routing is done in the handlers (not mux patterns) so the
+	// binary behaves identically across Go releases.
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/entity/", s.handleEntity)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the uniform error JSON: {"error":{"code":...,"message":...}}.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: message}})
+}
+
+// queryRequest is the POST /v1/query body. Exactly one of Tuple and Tuples
+// must be set; unset option fields select the engine defaults.
+type queryRequest struct {
+	Tuple  []string   `json:"tuple,omitempty"`
+	Tuples [][]string `json:"tuples,omitempty"`
+
+	K              int `json:"k,omitempty"`
+	KPrime         int `json:"kprime,omitempty"`
+	Depth          int `json:"depth,omitempty"`
+	MQGSize        int `json:"mqg_size,omitempty"`
+	MaxRows        int `json:"max_rows,omitempty"`
+	MaxEvaluations int `json:"max_evaluations,omitempty"`
+
+	// TimeoutMillis bounds this query; 0 means the server default. Values
+	// beyond the server's MaxTimeout are clamped to it.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (both lookup and
+	// fill), for benchmarking and debugging.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// answerJSON is one ranked answer in a query response.
+type answerJSON struct {
+	Entities []string `json:"entities"`
+	Score    float64  `json:"score"`
+}
+
+// statsJSON mirrors gqbe.Stats with wire-friendly units.
+type statsJSON struct {
+	DiscoveryMS    float64 `json:"discovery_ms"`
+	MergeMS        float64 `json:"merge_ms,omitempty"`
+	ProcessingMS   float64 `json:"processing_ms"`
+	MQGEdges       int     `json:"mqg_edges"`
+	NodesEvaluated int     `json:"nodes_evaluated"`
+	Stopped        string  `json:"stopped"`
+	Terminated     bool    `json:"terminated"`
+}
+
+// queryResponse is the POST /v1/query success body.
+type queryResponse struct {
+	Answers []answerJSON `json:"answers"`
+	Stats   statsJSON    `json:"stats"`
+	Cached  bool         `json:"cached"`
+}
+
+// normalize validates the request and returns the canonical tuple list and
+// options: single-tuple requests become one-element tuple lists and default
+// option values are made explicit, so equivalent requests share a cache key.
+func (q *queryRequest) normalize() ([][]string, gqbe.Options, error) {
+	var tuples [][]string
+	switch {
+	case len(q.Tuple) > 0 && len(q.Tuples) > 0:
+		return nil, gqbe.Options{}, errors.New(`set either "tuple" or "tuples", not both`)
+	case len(q.Tuple) > 0:
+		tuples = [][]string{q.Tuple}
+	case len(q.Tuples) > 0:
+		tuples = q.Tuples
+	default:
+		return nil, gqbe.Options{}, errors.New(`one of "tuple" or "tuples" is required`)
+	}
+	if len(tuples) > maxClientTuples {
+		return nil, gqbe.Options{}, fmt.Errorf("at most %d query tuples per request (got %d)", maxClientTuples, len(tuples))
+	}
+	arity := len(tuples[0])
+	for _, t := range tuples {
+		if len(t) == 0 {
+			return nil, gqbe.Options{}, errors.New("empty query tuple")
+		}
+		if len(t) > maxClientArity {
+			return nil, gqbe.Options{}, fmt.Errorf("at most %d entities per tuple (got %d)", maxClientArity, len(t))
+		}
+		if len(t) != arity {
+			return nil, gqbe.Options{}, fmt.Errorf("query tuples must share one arity (got %d and %d)", arity, len(t))
+		}
+		for _, e := range t {
+			if e == "" {
+				return nil, gqbe.Options{}, errors.New("empty entity name in query tuple")
+			}
+		}
+	}
+	if q.K < 0 || q.KPrime < 0 || q.Depth < 0 || q.MQGSize < 0 || q.MaxRows < 0 || q.MaxEvaluations < 0 || q.TimeoutMillis < 0 {
+		return nil, gqbe.Options{}, errors.New("option values must be non-negative")
+	}
+	// Clamp client-tunable budgets to the server-side caps before
+	// normalization, so capped requests also share cache keys with their
+	// clamped equivalents.
+	clamp := func(v *int, max int) {
+		if *v > max {
+			*v = max
+		}
+	}
+	clamp(&q.K, maxClientK)
+	clamp(&q.KPrime, maxClientKPrime)
+	clamp(&q.Depth, maxClientDepth)
+	clamp(&q.MQGSize, maxClientMQGSize)
+	clamp(&q.MaxRows, maxClientRows)
+
+	// Make the engine's defaults explicit so that e.g. {"k":10} and {} hit
+	// one cache entry; Normalized delegates to the engine's own fill rules.
+	opts := (&gqbe.Options{
+		K:              q.K,
+		KPrime:         q.KPrime,
+		Depth:          q.Depth,
+		MQGSize:        q.MQGSize,
+		MaxRows:        q.MaxRows,
+		MaxEvaluations: q.MaxEvaluations,
+	}).Normalized()
+	return tuples, opts, nil
+}
+
+// cacheKeyFor encodes the normalized request as the cache key. Every entity
+// name is length-prefixed, so names containing any byte sequence — including
+// would-be separators — cannot make two structurally different requests
+// collide. Tuple order is preserved (multi-tuple merge weighting is
+// order-sensitive in principle, so distinct orders are distinct queries).
+func cacheKeyFor(tuples [][]string, o gqbe.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", len(tuples))
+	for _, t := range tuples {
+		fmt.Fprintf(&b, "%d|", len(t))
+		for _, e := range t {
+			fmt.Fprintf(&b, "%d:%s", len(e), e)
+		}
+	}
+	fmt.Fprintf(&b, "k=%d;kp=%d;d=%d;r=%d;mr=%d;me=%d",
+		o.K, o.KPrime, o.Depth, o.MQGSize, o.MaxRows, o.MaxEvaluations)
+	return b.String()
+}
+
+// handleQuery is POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	s.met.requests.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.errored.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return
+	}
+	tuples, opts, err := req.normalize()
+	if err != nil {
+		s.met.errored.Add(1)
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// Resolve entity names before admission: an unknown name is answerable
+	// in microseconds, so it must not take a worker slot nor be recorded as
+	// a search latency (which would drag the /statz percentiles toward 0).
+	for _, t := range tuples {
+		for _, name := range t {
+			if !s.eng.HasEntity(name) {
+				s.met.errored.Add(1)
+				writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
+				return
+			}
+		}
+	}
+
+	key := cacheKeyFor(tuples, opts)
+	if !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			// Cache hits are counted (cache_served) but deliberately NOT
+			// recorded in the latency ring: their microsecond times would
+			// drown out search latencies and collapse the /statz
+			// percentiles toward zero as the cache warms. The ring measures
+			// engine work — see execute.
+			s.met.cacheServ.Add(1)
+			s.met.served.Add(1)
+			writeJSON(w, http.StatusOK, toResponse(res, true))
+			return
+		}
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		// Clamp in milliseconds, before the Duration multiplication: a huge
+		// timeout_ms would otherwise overflow int64 nanoseconds and wrap
+		// past the MaxTimeout comparison.
+		ms := req.TimeoutMillis
+		if maxMS := int(s.cfg.MaxTimeout / time.Millisecond); ms > maxMS {
+			ms = maxMS
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	res, err := s.execute(r.Context(), tuples, opts, timeout)
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				"all workers busy; retry later")
+			return
+		}
+		s.writeQueryError(w, err)
+		return
+	}
+	if !req.NoCache && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
+		s.cache.put(key, res)
+	}
+	s.met.served.Add(1)
+	writeJSON(w, http.StatusOK, toResponse(res, false))
+}
+
+// approxResultBytes estimates a result's retained size for the cache's
+// per-entry byte bound: entity name bytes plus slice/struct overheads.
+func approxResultBytes(res *gqbe.Result) int {
+	n := 256 // Result + Stats
+	for _, a := range res.Answers {
+		n += 48 // Answer struct + slice header
+		for _, e := range a.Entities {
+			n += len(e) + 16
+		}
+	}
+	return n
+}
+
+// minRecordedFailure is the duration floor for recording failed queries in
+// the latency ring: failures at least this slow did real engine work (a
+// row-budget blow-up after seconds of joining, a deep neighborhood scan
+// ending in ErrDisconnected) and belong in the percentiles, while
+// microsecond validation-class failures would only drag them toward zero.
+const minRecordedFailure = time.Millisecond
+
+// execute runs the query under admission and its deadline, recording the
+// search time (and only it — queue wait and response writing excluded) in
+// the latency ring. Recording is gated on outcome: successes and timeouts
+// always count (timeouts are by construction the slowest queries; excluding
+// them would understate the tail), other failures count only past the
+// minRecordedFailure floor — keeping fast validation-style failures out of
+// the ring for the same reason the unknown-entity pre-check and the
+// cache-hit path are. The worker slot guards the search only: it is
+// released when execute returns, before any response bytes are written, so
+// a slow-reading client cannot pin a slot.
+func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration) (res *gqbe.Result, err error) {
+	// Take a worker slot before running a search. Cache hits in the caller
+	// deliberately skip admission — they cost microseconds.
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		if err == nil || errors.Is(err, context.DeadlineExceeded) || elapsed >= minRecordedFailure {
+			s.met.lat.record(elapsed)
+		}
+	}()
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if len(tuples) == 1 {
+		return s.eng.QueryCtx(qctx, tuples[0], &opts)
+	}
+	return s.eng.QueryMultiCtx(qctx, tuples, &opts)
+}
+
+// writeQueryError maps engine errors to the API's error vocabulary.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "timeout",
+			"query exceeded its deadline and was canceled")
+	case errors.Is(err, context.Canceled):
+		// Client aborts are not server faults: tracked apart from errored
+		// so /statz error rates stay meaningful for alerting.
+		s.met.canceled.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "canceled", "query canceled")
+	case errors.Is(err, gqbe.ErrUnknownEntity):
+		s.met.errored.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_entity", err.Error())
+	default:
+		// Engine-reported failures (disconnected tuple, row-budget blow-up,
+		// oversized MQG) are properties of the query, not server faults.
+		s.met.errored.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "query_failed", err.Error())
+	}
+}
+
+func toResponse(res *gqbe.Result, cached bool) queryResponse {
+	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := queryResponse{
+		Answers: make([]answerJSON, 0, len(res.Answers)),
+		Stats: statsJSON{
+			DiscoveryMS:    toMS(res.Stats.Discovery),
+			MergeMS:        toMS(res.Stats.Merge),
+			ProcessingMS:   toMS(res.Stats.Processing),
+			MQGEdges:       res.Stats.MQGEdges,
+			NodesEvaluated: res.Stats.NodesEvaluated,
+			Stopped:        res.Stats.Stopped,
+			Terminated:     res.Stats.Terminated,
+		},
+		Cached: cached,
+	}
+	for _, a := range res.Answers {
+		out.Answers = append(out.Answers, answerJSON{Entities: a.Entities, Score: a.Score})
+	}
+	return out
+}
+
+// entityResponse is the GET /v1/entity/{name} success body; a 200 itself
+// means the entity exists (unknown names get the 404 error body).
+type entityResponse struct {
+	Name string `json:"name"`
+}
+
+// handleEntity is GET /v1/entity/{name}; the name is URL-escaped.
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/entity/")
+	name, err := url.PathUnescape(raw)
+	if err != nil || name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing or malformed entity name")
+		return
+	}
+	if !s.eng.HasEntity(name) {
+		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, entityResponse{Name: name})
+}
+
+// handleHealthz is GET /healthz: cheap liveness plus graph shape.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"entities": s.eng.NumEntities(),
+		"facts":    s.eng.NumFacts(),
+	})
+}
+
+// handleStatz is GET /statz: the serving metrics snapshot.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	snap := s.met.snapshot(s.cache, s.adm, statzEngine{
+		Entities:   s.eng.NumEntities(),
+		Facts:      s.eng.NumFacts(),
+		Predicates: s.eng.NumPredicates(),
+	})
+	writeJSON(w, http.StatusOK, snap)
+}

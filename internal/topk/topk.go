@@ -7,6 +7,7 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -35,7 +36,10 @@ type Options struct {
 	MaxEvaluations int
 }
 
-func (o *Options) fill() {
+// Fill makes the default option values explicit in place. Exported so
+// callers needing the canonical form of a query's options (e.g. cache-key
+// normalization in the serving layer) share one source of truth.
+func (o *Options) Fill() {
 	if o.K <= 0 {
 		o.K = 10
 	}
@@ -63,6 +67,21 @@ type Answer struct {
 	BestGraph lattice.EdgeSet
 }
 
+// StopReason says why a search returned — the uniform "why did this query
+// stop" story shared by the termination test, the safety valves, and
+// cancellation.
+type StopReason string
+
+const (
+	// StopExhausted: the frontier emptied; every reachable lattice node was
+	// evaluated or pruned.
+	StopExhausted StopReason = "frontier-exhausted"
+	// StopProven: the Theorem-4 test proved the top-k is final.
+	StopProven StopReason = "topk-proven"
+	// StopMaxEvaluations: the MaxEvaluations safety valve fired.
+	StopMaxEvaluations StopReason = "max-evaluations"
+)
+
 // Result is the outcome of a search, including the efficiency counters the
 // paper's evaluation reports.
 type Result struct {
@@ -73,13 +92,19 @@ type Result struct {
 	NullNodes int
 	// TuplesSeen is the number of distinct answer tuples encountered.
 	TuplesSeen int
-	// Terminated reports whether the Theorem-4 test stopped the search
-	// before the frontier emptied.
-	Terminated bool
+	// Stopped says why the search returned; Stopped == StopProven means the
+	// Theorem-4 test fired before the frontier emptied.
+	Stopped StopReason
 	// RowBudgetSkips counts lattice nodes skipped because their join
 	// results exceeded the row budget.
 	RowBudgetSkips int
 }
+
+// cancelCheckInterval is how many rows the scoring passes process between
+// context checks, matching the join executor's granularity: a lattice node
+// can materialize millions of rows, and absorbing them (key building, map
+// inserts, content scoring) is comparable work to the join itself.
+const cancelCheckInterval = 4096
 
 // tupleKey builds a map key for an answer tuple.
 func tupleKey(t []graph.NodeID) string {
@@ -106,8 +131,16 @@ type candidate struct {
 // itself, §II). For merged multi-tuple MQGs pass every input tuple in
 // exclude.
 func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
-	opts.fill()
-	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows))
+	return SearchCtx(context.Background(), store, lat, exclude, opts)
+}
+
+// SearchCtx is Search under a cancellation context: the search checks ctx at
+// every node-evaluation boundary (and the joins check it at batch
+// granularity, see exec.WithContext), returning the context's error as soon
+// as it is done. A canceled search yields no partial Result.
+func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	opts.Fill()
+	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows), exec.WithContext(ctx))
 	sc := scoring.New(lat, ev)
 	excluded := make(map[string]bool, len(exclude))
 	for _, t := range exclude {
@@ -115,6 +148,7 @@ func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID
 	}
 
 	s := &searcher{
+		ctx:      ctx,
 		lat:      lat,
 		ev:       ev,
 		sc:       sc,
@@ -176,6 +210,7 @@ func (h *lfHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = o
 
 // searcher is the mutable state of one Alg. 2 run.
 type searcher struct {
+	ctx  context.Context
 	lat  *lattice.Lattice
 	ev   *exec.Evaluator
 	sc   *scoring.Scorer
@@ -285,9 +320,13 @@ func (s *searcher) kthBestSScore() (float64, bool) {
 }
 
 func (s *searcher) run() (*Result, error) {
-	res := &Result{}
+	res := &Result{Stopped: StopExhausted}
 	for {
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("topk: search canceled: %w", err)
+		}
 		if s.opts.MaxEvaluations > 0 && s.ev.Evaluated() >= s.opts.MaxEvaluations {
+			res.Stopped = StopMaxEvaluations
 			break
 		}
 		qbest, ub, ok := s.popBest()
@@ -301,7 +340,7 @@ func (s *searcher) run() (*Result, error) {
 		// unchanged, and with discrete weight distributions (many answers
 		// sharing one structure score) the strict test would never fire.
 		if kth, have := s.kthBestSScore(); have && kth >= ub {
-			res.Terminated = true
+			res.Stopped = StopProven
 			break
 		}
 		s.done[qbest] = true
@@ -318,7 +357,11 @@ func (s *searcher) run() (*Result, error) {
 			}
 			return nil, fmt.Errorf("topk: evaluating lattice node: %w", err)
 		}
-		if len(rows) == 0 || s.onlyExcluded(rows) {
+		empty, err := s.onlyExcluded(rows)
+		if err != nil {
+			return nil, fmt.Errorf("topk: search canceled: %w", err)
+		}
+		if len(rows) == 0 || empty {
 			// Null node (an answer set holding only the query tuple itself
 			// prunes the same way: every ancestor answer restricts to a
 			// child answer with the same projection).
@@ -326,7 +369,9 @@ func (s *searcher) run() (*Result, error) {
 			s.recordNull(qbest)
 			continue
 		}
-		s.absorb(qbest, rows)
+		if err := s.absorb(qbest, rows); err != nil {
+			return nil, fmt.Errorf("topk: search canceled: %w", err)
+		}
 		for _, p := range s.lat.Parents(qbest) {
 			if !s.done[p] && !s.inLF[p] && !s.pruned(p) {
 				s.pushLF(p)
@@ -340,22 +385,33 @@ func (s *searcher) run() (*Result, error) {
 }
 
 // onlyExcluded reports whether every row projects to an excluded (query)
-// tuple.
-func (s *searcher) onlyExcluded(rows []exec.Row) bool {
-	for _, r := range rows {
+// tuple, checking ctx at batch granularity (rows can number in the millions).
+func (s *searcher) onlyExcluded(rows []exec.Row) (bool, error) {
+	for n, r := range rows {
+		if n%cancelCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		if !s.excluded[tupleKey(s.ev.TupleOf(r))] {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // absorb folds the answers of an evaluated node into the per-tuple bests.
 // Under the simplified stage-1 scoring every row of q scores s_score(q);
 // the full score (with content credit) is tracked alongside for stage 2.
-func (s *searcher) absorb(q lattice.EdgeSet, rows []exec.Row) {
+// Like the joins, it checks ctx at batch granularity.
+func (s *searcher) absorb(q lattice.EdgeSet, rows []exec.Row) error {
 	sScore := s.lat.SScore(q)
-	for _, row := range rows {
+	for n, row := range rows {
+		if n%cancelCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		tuple := s.ev.TupleOf(row)
 		key := tupleKey(tuple)
 		if s.excluded[key] {
@@ -376,6 +432,7 @@ func (s *searcher) absorb(q lattice.EdgeSet, rows []exec.Row) {
 		}
 	}
 	s.kthDirty = true
+	return nil
 }
 
 // recordNull registers qbest as a null node, prunes its ancestors, and

@@ -282,12 +282,12 @@ func TestMaxEvaluationsCap(t *testing.T) {
 
 func TestOptionsFill(t *testing.T) {
 	o := Options{}
-	o.fill()
+	o.Fill()
 	if o.K != 10 || o.KPrime != 100 || o.MaxRows != exec.DefaultMaxRows {
 		t.Errorf("defaults wrong: %+v", o)
 	}
 	o = Options{K: 50}
-	o.fill()
+	o.Fill()
 	if o.KPrime != 200 {
 		t.Errorf("KPrime default = %d, want 4·K = 200", o.KPrime)
 	}
