@@ -10,13 +10,15 @@
 //
 //	POST /v1/query          {"tuple":["Jerry Yang","Yahoo!"],"k":10,"timeout_ms":500}
 //	                        {"tuples":[["Jerry Yang","Yahoo!"],["Sergey Brin","Google"]]}
+//	POST /v1/query:batch    {"queries":[{"tuple":[...]},...]} — per-item results/errors
 //	GET  /v1/entity/{name}  entity existence check
 //	GET  /healthz           liveness + graph shape
 //	GET  /statz             serving metrics (QPS, latency percentiles, cache)
 //
 // The daemon sheds load with 429 once all workers are busy, answers repeated
-// queries from an LRU result cache, and cancels any query that exceeds its
-// deadline. SIGINT/SIGTERM drain in-flight requests before exit.
+// queries from an LRU result cache, coalesces concurrent identical queries
+// into one engine search, and cancels any query that exceeds its deadline.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		cacheEntries  = flag.Int("cache-entries", 1024, "result cache capacity in entries (negative disables)")
 		cacheShards   = flag.Int("cache-shards", 16, "result cache shard count")
+		batchItems    = flag.Int("max-batch-items", 64, "max queries per /v1/query:batch request")
+		batchConc     = flag.Int("batch-concurrency", 4, "max engine searches one batch runs at once (capped at -max-concurrent)")
 	)
 	flag.Parse()
 
@@ -65,12 +69,14 @@ func main() {
 		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), time.Since(start).Round(time.Millisecond))
 
 	cfg := server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueueWait:   *queueWait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheEntries:   *cacheEntries,
-		CacheShards:    *cacheShards,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueueWait:        *queueWait,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		CacheEntries:        *cacheEntries,
+		CacheShards:         *cacheShards,
+		MaxBatchItems:       *batchItems,
+		MaxBatchConcurrency: *batchConc,
 	}.WithDefaults()
 	srv := server.New(eng, cfg)
 	httpSrv := &http.Server{
@@ -81,9 +87,10 @@ func main() {
 		// or trickled upload must not pin a goroutine past this.
 		ReadTimeout: 30 * time.Second,
 		// The write window must cover the longest allowed request — queue
-		// wait plus query deadline — and the response itself; a finite
-		// bound keeps slow-reading clients from holding connections (and
-		// their handler goroutines) forever.
+		// wait plus query deadline; a batch envelope is server-bounded to
+		// the same ceiling — and the response itself; a finite bound keeps
+		// slow-reading clients from holding connections (and their handler
+		// goroutines) forever.
 		WriteTimeout: cfg.MaxQueueWait + cfg.MaxTimeout + 30*time.Second,
 		IdleTimeout:  60 * time.Second,
 	}
@@ -105,7 +112,8 @@ func main() {
 
 	log.Printf("gqbed: shutting down, draining in-flight requests")
 	// The drain window must cover the longest request the server itself
-	// admits: full queue wait plus the maximum query deadline.
+	// admits: full queue wait plus the maximum query deadline (batch
+	// envelopes are server-bounded to the same ceiling).
 	shutdownCtx, cancel := context.WithTimeout(context.Background(),
 		cfg.MaxQueueWait+cfg.MaxTimeout+5*time.Second)
 	defer cancel()

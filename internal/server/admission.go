@@ -32,6 +32,12 @@ func newAdmission(capacity int, maxWait time.Duration) *admission {
 // errSaturated when the wait elapses and ctx.Err() when the request is
 // canceled first (client gone or deadline already spent queueing).
 func (a *admission) acquire(ctx context.Context) error {
+	// An already-canceled or expired request must not be admitted: the
+	// non-blocking fast path below would otherwise hand it a slot and start
+	// a search nobody will read.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case <-a.slots:
 		return nil

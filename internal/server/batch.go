@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gqbe"
+)
+
+// maxBatchBodyBytes bounds a POST /v1/query:batch body. This is a deliberate
+// envelope policy, not MaxBatchItems × the single-query body cap: batch items
+// are entity-name tuples plus small option fields, so 4MiB is generous for a
+// full 64-item batch. A client with megabyte-scale individual queries should
+// send them to /v1/query.
+const maxBatchBodyBytes = 4 << 20
+
+// batchRequest is the POST /v1/query:batch body: a list of ordinary query
+// requests, each with its own tuples, options, timeout_ms, and no_cache.
+// Items are raw here and decoded one by one, so a single malformed item
+// (unknown field, wrong type) fails individually instead of rejecting the
+// whole envelope.
+type batchRequest struct {
+	Queries []json.RawMessage `json:"queries"`
+}
+
+// batchItemJSON is one per-item outcome in a batch response; exactly one of
+// Result and Error is set. Results[i] answers Queries[i].
+type batchItemJSON struct {
+	Result *queryResponse `json:"result,omitempty"`
+	Error  *errorDetail   `json:"error,omitempty"`
+}
+
+// batchResponse is the POST /v1/query:batch success body. The HTTP status is
+// 200 whenever the batch itself was well-formed; individual failures are
+// reported per item.
+type batchResponse struct {
+	Results []batchItemJSON `json:"results"`
+}
+
+// batchItem is one query's journey through the batch pipeline.
+type batchItem struct {
+	tuples  [][]string
+	opts    gqbe.Options
+	key     string
+	timeout time.Duration
+	noCache bool
+
+	resp *queryResponse
+	fail *errorDetail
+}
+
+// handleBatch is POST /v1/query:batch. The batch is normalized item by item
+// (invalid items fail individually, never the whole batch), deduplicated —
+// identical items with the same effective timeout are computed once — and
+// the residue is fanned through the worker pool under the per-batch
+// concurrency bound. Cache and singleflight apply per distinct query exactly
+// as on /v1/query, so repeats across concurrent batches coalesce too.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	s.met.batchRequests.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	var req batchRequest
+	if !decodeBody(w, r, maxBatchBodyBytes, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", `"queries" must contain at least one query`)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("at most %d queries per batch (got %d)", s.cfg.MaxBatchItems, len(req.Queries)))
+		return
+	}
+	// Each accepted item is a query request for accounting: it lands in
+	// exactly one of served/errored/rejected/timeouts/canceled below, so the
+	// /statz invariant holds with batches in the mix.
+	s.met.batchItems.Add(uint64(len(req.Queries)))
+	s.met.requests.Add(uint64(len(req.Queries)))
+
+	items := make([]*batchItem, len(req.Queries))
+	// groups collects dedupable items by (cache key, effective timeout):
+	// items differing only in timeout_ms are the same cache entry but not
+	// the same computation budget, so they are not merged. no_cache items
+	// are never deduplicated — they exist to measure the engine.
+	groups := make(map[string][]*batchItem)
+	var singles []*batchItem
+	for i := range req.Queries {
+		it := &batchItem{}
+		items[i] = it
+		var q queryRequest
+		dec := json.NewDecoder(bytes.NewReader(req.Queries[i]))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			s.met.errored.Add(1)
+			it.fail = &errorDetail{Code: "bad_request", Message: "malformed query: " + err.Error()}
+			continue
+		}
+		tuples, opts, err := q.normalize()
+		if err != nil {
+			s.met.errored.Add(1)
+			it.fail = &errorDetail{Code: "bad_request", Message: err.Error()}
+			continue
+		}
+		if name, ok := unknownEntity(s.eng, tuples); !ok {
+			s.met.errored.Add(1)
+			it.fail = &errorDetail{Code: "unknown_entity", Message: fmt.Sprintf("unknown entity %q", name)}
+			continue
+		}
+		it.tuples, it.opts = tuples, opts
+		it.key = cacheKeyFor(tuples, opts)
+		it.timeout = s.effectiveTimeout(q.TimeoutMillis)
+		it.noCache = q.NoCache
+		if it.noCache {
+			singles = append(singles, it)
+			continue
+		}
+		gk := fmt.Sprintf("%s|t=%d", it.key, it.timeout)
+		groups[gk] = append(groups[gk], it)
+	}
+
+	// The whole envelope runs under the same ceiling as the longest single
+	// request the server admits (full queue wait plus the maximum query
+	// deadline): gqbed's HTTP write window and shutdown drain are sized for
+	// that ceiling, and a batch must not exceed it just because its waves of
+	// searches run serially. Items cut off by the envelope deadline fail
+	// individually with "timeout"; clients with more work split batches.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxQueueWait+s.cfg.MaxTimeout)
+	defer cancel()
+
+	// Fan the distinct queries out under the per-batch concurrency bound.
+	// The gate (acquired inside answer, around engine runs only — cache hits
+	// and coalescing followers don't occupy it) is on batch-local
+	// parallelism; each engine run still takes a worker slot through the
+	// ordinary admission gate, so batches compete fairly with interactive
+	// traffic.
+	gate := make(chan struct{}, s.cfg.MaxBatchConcurrency)
+	var wg sync.WaitGroup
+	run := func(group []*batchItem) {
+		defer wg.Done()
+		// net/http's per-connection recover does not cover goroutines a
+		// handler spawns: without this, one engine panic would kill the
+		// whole daemon. Convert it to a per-item error instead (the flight
+		// itself was already finished by runFlight before re-panicking, so
+		// no follower is left hanging).
+		defer func() {
+			if p := recover(); p != nil {
+				// The response carries only a generic message (matching the
+				// flight-follower path); the detail goes to the server log,
+				// as net/http's own recover would have done for /v1/query.
+				log.Printf("server: panic serving batch item: %v\n%s", p, debug.Stack())
+				detail := errorDetail{Code: "internal", Message: "internal server error"}
+				for _, it := range group {
+					if it.resp == nil && it.fail == nil {
+						s.met.errored.Add(1)
+						it.fail = &detail
+					}
+				}
+			}
+		}()
+		lead := group[0]
+		res, flags, err := s.answer(ctx, lead.key, lead.tuples, lead.opts, lead.timeout, lead.noCache, gate)
+		for i, it := range group {
+			if i > 0 {
+				s.met.batchDeduped.Add(1)
+			}
+			if err != nil {
+				_, detail := s.classifyQueryError(err)
+				it.fail = &detail
+				continue
+			}
+			f := flags
+			if i > 0 {
+				// A duplicate was answered by its group, full stop: carrying
+				// the group's cached/coalesced flags would make response
+				// flags disagree with the /statz counters, which count each
+				// lookup or coalesce once.
+				f = answerFlags{deduped: true}
+			}
+			if f.cached {
+				s.met.cacheServ.Add(1)
+			}
+			s.met.served.Add(1)
+			resp := toResponse(res, f)
+			it.resp = &resp
+		}
+	}
+	for _, g := range groups {
+		wg.Add(1)
+		go run(g)
+	}
+	for _, it := range singles {
+		wg.Add(1)
+		go run([]*batchItem{it})
+	}
+	wg.Wait()
+
+	out := batchResponse{Results: make([]batchItemJSON, len(items))}
+	for i, it := range items {
+		out.Results[i] = batchItemJSON{Result: it.resp, Error: it.fail}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// unknownEntity returns the first entity name in tuples the engine does not
+// know, with ok=false; ok=true means every name resolves.
+func unknownEntity(eng *gqbe.Engine, tuples [][]string) (string, bool) {
+	for _, t := range tuples {
+		for _, name := range t {
+			if !eng.HasEntity(name) {
+				return name, false
+			}
+		}
+	}
+	return "", true
+}

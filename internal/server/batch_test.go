@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// postBatch sends body to POST /v1/query:batch and returns the recorder.
+func postBatch(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query:batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeBatch(t *testing.T, w *httptest.ResponseRecorder) batchResponse {
+	t.Helper()
+	var out batchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decoding batch response %q: %v", w.Body.String(), err)
+	}
+	return out
+}
+
+// TestBatchMixedItems drives the acceptance scenario: a batch mixing valid
+// queries, an exact duplicate, an invalid item, and an unknown entity gets
+// per-item results and errors in input order, with dedup and batch counters
+// on /statz.
+func TestBatchMixedItems(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postBatch(t, s, `{"queries":[
+		{"tuple":["Jerry Yang","Yahoo!"]},
+		{"tuple":["Jerry Yang","Yahoo!"]},
+		{"tuple":["Sergey Brin","Google"]},
+		{"tuples":[[]]},
+		{"tuple":["Nobody Anybody","Yahoo!"]},
+		{"tupel":["Jerry Yang","Yahoo!"]}
+	]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	out := decodeBatch(t, w)
+	if len(out.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(out.Results))
+	}
+	for i := 0; i < 3; i++ {
+		item := out.Results[i]
+		if item.Error != nil || item.Result == nil {
+			t.Fatalf("item %d: expected a result, got error %+v", i, item.Error)
+		}
+		if len(item.Result.Answers) == 0 {
+			t.Errorf("item %d: no answers", i)
+		}
+	}
+	// Exactly one of the two identical items is marked deduped (which one
+	// computed first is scheduling-dependent, but the flag count is not).
+	ndeduped := 0
+	for i := 0; i < 2; i++ {
+		if out.Results[i].Result.Deduped {
+			ndeduped++
+		}
+	}
+	if ndeduped != 1 {
+		t.Errorf("deduped flags among identical items = %d, want 1", ndeduped)
+	}
+	if e := out.Results[3].Error; e == nil || e.Code != "bad_request" {
+		t.Errorf("item 3 error = %+v, want bad_request", e)
+	}
+	if e := out.Results[4].Error; e == nil || e.Code != "unknown_entity" {
+		t.Errorf("item 4 error = %+v, want unknown_entity", e)
+	}
+	// JSON-level invalidity (a misspelled field) fails the item, never the
+	// envelope.
+	if e := out.Results[5].Error; e == nil || e.Code != "bad_request" {
+		t.Errorf("item 5 error = %+v, want bad_request", e)
+	}
+
+	snap := statz(t, s)
+	if snap.BatchRequests != 1 || snap.BatchItems != 6 {
+		t.Errorf("batch_requests/batch_items = %d/%d, want 1/6", snap.BatchRequests, snap.BatchItems)
+	}
+	if snap.BatchDeduped != 1 {
+		t.Errorf("batch_deduped = %d, want 1", snap.BatchDeduped)
+	}
+	if snap.Requests != 6 {
+		t.Errorf("requests = %d, want 6 (each batch item counts)", snap.Requests)
+	}
+	if snap.Served != 3 || snap.Errors != 3 {
+		t.Errorf("served/errors = %d/%d, want 3/3", snap.Served, snap.Errors)
+	}
+}
+
+func TestBatchServedFromCacheAndInflight(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Prime the cache through the single-query endpoint.
+	if w := postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`); w.Code != http.StatusOK {
+		t.Fatalf("prime query: status = %d", w.Code)
+	}
+	w := postBatch(t, s, `{"queries":[{"tuple":["Jerry Yang","Yahoo!"]},{"tuple":["Jerry Yang","Yahoo!"]}]}`)
+	out := decodeBatch(t, w)
+	if len(out.Results) != 2 || out.Results[0].Result == nil || out.Results[1].Result == nil {
+		t.Fatalf("bad batch response: %s", w.Body.String())
+	}
+	var first, dup *queryResponse
+	for _, item := range out.Results {
+		if item.Result.Deduped {
+			dup = item.Result
+		} else {
+			first = item.Result
+		}
+	}
+	if first == nil || dup == nil {
+		t.Fatalf("want one computed and one deduped item, got %s", w.Body.String())
+	}
+	if !first.Cached {
+		t.Error("batch repeat of a cached query not served from cache")
+	}
+	// The duplicate was answered by its group, not by a cache lookup or a
+	// coalesce of its own: its flags must not double-claim what /statz
+	// counts once per group.
+	if dup.Cached || dup.Coalesced {
+		t.Errorf("deduped item carries cached=%v coalesced=%v, want false/false", dup.Cached, dup.Coalesced)
+	}
+	if snap := statz(t, s); snap.Cache.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", snap.Cache.Hits)
+	}
+}
+
+func TestBatchEnvelopeErrors(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatchItems: 3})
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+		code   string
+	}{
+		"malformed":      {`{"queries":`, http.StatusBadRequest, "bad_request"},
+		"empty list":     {`{"queries":[]}`, http.StatusBadRequest, "bad_request"},
+		"missing field":  {`{}`, http.StatusBadRequest, "bad_request"},
+		"over item cap":  {`{"queries":[{"tuple":["A"]},{"tuple":["A"]},{"tuple":["A"]},{"tuple":["A"]}]}`, http.StatusBadRequest, "batch_too_large"},
+		"oversized body": {`{"queries":[{"tuple":["` + strings.Repeat("x", maxBatchBodyBytes) + `"]}]}`, http.StatusRequestEntityTooLarge, "body_too_large"},
+	} {
+		w := postBatch(t, s, tc.body)
+		if w.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d; body %.120s", name, w.Code, tc.status, w.Body.String())
+			continue
+		}
+		if e := decodeError(t, w); e.Error.Code != tc.code {
+			t.Errorf("%s: error code = %q, want %q", name, e.Error.Code, tc.code)
+		}
+	}
+	// A shed envelope must not count items.
+	if snap := statz(t, s); snap.BatchItems != 0 || snap.Requests != 0 {
+		t.Errorf("batch_items/requests = %d/%d after rejected envelopes, want 0/0",
+			snap.BatchItems, snap.Requests)
+	}
+}
+
+func TestBatchMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/query:batch", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", w.Code)
+	}
+}
+
+// TestBatchConcurrencyBound proves a batch's distinct queries never exceed
+// MaxBatchConcurrency simultaneous engine runs, even with free worker slots.
+func TestBatchConcurrencyBound(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 8, MaxBatchConcurrency: 2})
+	var cur, peak atomic.Int32
+	s.execHook = func() {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond) // hold the slot long enough to overlap
+		cur.Add(-1)
+	}
+	// Four distinct queries (different tuples or options → different keys).
+	w := postBatch(t, s, `{"queries":[
+		{"tuple":["Jerry Yang","Yahoo!"]},
+		{"tuple":["Sergey Brin","Google"]},
+		{"tuple":["Steve Wozniak","Apple Inc."]},
+		{"tuple":["Jerry Yang","Yahoo!"],"k":5}
+	]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	for i, item := range decodeBatch(t, w).Results {
+		if item.Error != nil {
+			t.Errorf("item %d: unexpected error %+v", i, item.Error)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent engine runs = %d, want ≤ 2 (MaxBatchConcurrency)", p)
+	}
+}
+
+// TestBatchSurvivesEnginePanic: a panic during one batch item's search must
+// become a per-item "internal" error, not kill the process (handler-spawned
+// goroutines are outside net/http's per-connection recover).
+func TestBatchSurvivesEnginePanic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.execHook = func() { panic("boom") }
+	w := postBatch(t, s, `{"queries":[{"tuple":["Jerry Yang","Yahoo!"]}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	out := decodeBatch(t, w)
+	if e := out.Results[0].Error; e == nil || e.Code != "internal" {
+		t.Fatalf("item error = %+v, want internal", e)
+	}
+	snap := statz(t, s)
+	if snap.Errors != 1 || snap.InFlight != 0 {
+		t.Errorf("errors/in_flight = %d/%d, want 1/0", snap.Errors, snap.InFlight)
+	}
+	// The flight and gate were released: a healthy engine serves the next
+	// batch for the same key.
+	s.execHook = nil
+	w = postBatch(t, s, `{"queries":[{"tuple":["Jerry Yang","Yahoo!"]}]}`)
+	if out := decodeBatch(t, w); out.Results[0].Result == nil {
+		t.Fatalf("post-panic batch failed: %s", w.Body.String())
+	}
+}
+
+// TestBatchItemTimeout: one item with an impossibly small effective deadline
+// fails alone; the rest of the batch succeeds.
+func TestBatchItemTimeout(t *testing.T) {
+	// The 1ns default deadline is already expired by the engine's first
+	// context check, so the unstamped item deterministically times out; the
+	// other item asks for a real deadline and succeeds.
+	s := newTestServer(t, Config{DefaultTimeout: time.Nanosecond, MaxTimeout: 10 * time.Second})
+	w := postBatch(t, s, `{"queries":[
+		{"tuple":["Jerry Yang","Yahoo!"],"timeout_ms":10000},
+		{"tuple":["Sergey Brin","Google"]}
+	]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	out := decodeBatch(t, w)
+	if out.Results[0].Result == nil || len(out.Results[0].Result.Answers) == 0 {
+		t.Errorf("item 0 should have succeeded: %+v", out.Results[0].Error)
+	}
+	if e := out.Results[1].Error; e == nil || e.Code != "timeout" {
+		t.Errorf("item 1 error = %+v, want timeout", e)
+	}
+	if snap := statz(t, s); snap.Timeouts != 1 || snap.Served != 1 {
+		t.Errorf("timeouts/served = %d/%d, want 1/1", snap.Timeouts, snap.Served)
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gqbe"
+	"gqbe/internal/kgsynth"
+)
+
+var (
+	loadOnce sync.Once
+	loadEng  *gqbe.Engine
+	loadDS   *kgsynth.Dataset
+)
+
+// loadBenchEngine builds a public engine over the kgsynth Freebase-like
+// graph (seed 42, scale 1.0 — the repo's standard benchmark graph) once per
+// process.
+func loadBenchEngine(b *testing.B) (*gqbe.Engine, *kgsynth.Dataset) {
+	b.Helper()
+	loadOnce.Do(func() {
+		ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
+		bld := gqbe.NewBuilder()
+		ds.Graph.EdgesAsTriples(func(s, p, o string) { bld.Add(s, p, o) })
+		eng, err := bld.Build()
+		if err != nil {
+			panic(err)
+		}
+		loadEng, loadDS = eng, ds
+	})
+	return loadEng, loadDS
+}
+
+// BenchmarkServerLoad drives a scripted load — 8 workers cycling over 6
+// distinct workload queries (so repeats hit the cache and coalesce) plus one
+// batch request per worker — through the full serving stack, then reports
+// the /statz QPS and p50/p99 search latency. BENCH_server.json records this
+// benchmark's baseline; re-run with:
+//
+//	go test -run '^$' -bench BenchmarkServerLoad -benchtime 1x ./internal/server
+func BenchmarkServerLoad(b *testing.B) {
+	eng, ds := loadBenchEngine(b)
+
+	const workers = 8
+	queryIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6"}
+	bodies := make([]string, len(queryIDs))
+	var batchItems []string
+	for i, id := range queryIDs {
+		tup, err := json.Marshal(ds.MustQuery(id).QueryTuple())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = `{"tuple":` + string(tup) + `}`
+		batchItems = append(batchItems, `{"tuple":`+string(tup)+`}`)
+	}
+	batchBody := `{"queries":[` + strings.Join(batchItems, ",") + `]}`
+
+	b.ResetTimer()
+	var snap statzSnapshot
+	for n := 0; n < b.N; n++ {
+		srv := New(eng, Config{MaxConcurrent: workers})
+		post := func(path, body string) int {
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			return w.Code
+		}
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for i := 0; i < 12; i++ {
+					if code := post("/v1/query", bodies[(wkr+i)%len(bodies)]); code != http.StatusOK {
+						b.Errorf("query status %d", code)
+						return
+					}
+				}
+				if code := post("/v1/query:batch", batchBody); code != http.StatusOK {
+					b.Errorf("batch status %d", code)
+				}
+			}(wkr)
+		}
+		wg.Wait()
+
+		req := httptest.NewRequest(http.MethodGet, "/statz", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+			b.Fatalf("statz: %v", err)
+		}
+	}
+	b.ReportMetric(snap.QPS, "qps")
+	b.ReportMetric(snap.Latency.P50, "p50ms")
+	b.ReportMetric(snap.Latency.P99, "p99ms")
+	b.ReportMetric(float64(snap.Coalesced), "coalesced")
+	b.ReportMetric(float64(snap.CacheServed), "cache_served")
+}

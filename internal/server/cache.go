@@ -51,10 +51,18 @@ func newResultCache(entries, nshards int) *resultCache {
 		nshards = entries
 	}
 	c := &resultCache{shards: make([]*cacheShard, nshards)}
-	per := (entries + nshards - 1) / nshards
+	// Split entries exactly: base per shard plus one extra for the first
+	// `entries mod nshards` shards. Ceiling division would give every shard
+	// the rounded-up share, overshooting the configured total by up to
+	// nshards-1 entries (e.g. entries=17, nshards=16 → 32 slots).
+	base, rem := entries/nshards, entries%nshards
 	for i := range c.shards {
+		capacity := base
+		if i < rem {
+			capacity++
+		}
 		c.shards[i] = &cacheShard{
-			capacity: per,
+			capacity: capacity,
 			order:    list.New(),
 			items:    make(map[string]*list.Element),
 		}

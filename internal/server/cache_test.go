@@ -101,6 +101,29 @@ func TestCacheKeyNormalization(t *testing.T) {
 	}
 }
 
+// TestCacheCapacityExact is the regression test for the ceiling-division
+// bug: per-shard capacities must sum to exactly the configured entry count
+// (entries=17, nshards=16 used to yield 32 slots).
+func TestCacheCapacityExact(t *testing.T) {
+	for _, tc := range []struct{ entries, shards int }{
+		{17, 16}, {1024, 16}, {5, 4}, {1, 16}, {33, 8}, {16, 16}, {100, 7},
+	} {
+		c := newResultCache(tc.entries, tc.shards)
+		total := 0
+		for i, sh := range c.shards {
+			if sh.capacity < 1 {
+				t.Errorf("entries=%d shards=%d: shard %d capacity %d, want >= 1",
+					tc.entries, tc.shards, i, sh.capacity)
+			}
+			total += sh.capacity
+		}
+		if total != tc.entries {
+			t.Errorf("entries=%d shards=%d: total shard capacity = %d, want exactly %d",
+				tc.entries, tc.shards, total, tc.entries)
+		}
+	}
+}
+
 func TestCacheShardDistribution(t *testing.T) {
 	c := newResultCache(1024, 16)
 	for i := 0; i < 1024; i++ {

@@ -124,6 +124,28 @@ func TestAdmissionQueueWaits(t *testing.T) {
 	a.release()
 }
 
+// TestAdmissionRejectsCanceledFastPath is the regression test for the
+// fast-path bug: with slots free, an already-canceled request used to be
+// admitted and start a search nobody would read. It must be turned away with
+// its context error, leaving every slot free.
+func TestAdmissionRejectsCanceledFastPath(t *testing.T) {
+	a := newAdmission(2, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.acquire(ctx); err != context.Canceled {
+		t.Fatalf("acquire with canceled ctx and free slots = %v, want context.Canceled", err)
+	}
+	if got := a.busy(); got != 0 {
+		t.Errorf("busy = %d after rejected acquire, want 0 (no slot may leak)", got)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if err := a.acquire(expired); err != context.DeadlineExceeded {
+		t.Fatalf("acquire with expired ctx = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestAdmissionRespectsRequestCancel(t *testing.T) {
 	a := newAdmission(1, time.Hour)
 	if err := a.acquire(context.Background()); err != nil {
@@ -137,6 +159,44 @@ func TestAdmissionRespectsRequestCancel(t *testing.T) {
 	}()
 	if err := a.acquire(ctx); err != context.Canceled {
 		t.Fatalf("acquire on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestSaturationNotSharedAcrossCoalescedRequests: when the leader of a
+// flight is shed by admission, its followers must not be mass-rejected with
+// the leader's 429 — each retries and makes its own admission attempt
+// (serially promoting a new leader), and none of them counts as coalesced.
+func TestSaturationNotSharedAcrossCoalescedRequests(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueueWait: time.Millisecond})
+
+	// Hold the only worker slot for the whole test.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer s.adm.release()
+
+	const n = 4
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`).Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Errorf("request %d: status = %d, want 429", i, code)
+		}
+	}
+	snap := statz(t, s)
+	if snap.Rejected != n {
+		t.Errorf("rejected = %d, want %d (every request must make its own admission attempt)", snap.Rejected, n)
+	}
+	if snap.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0 (a shared 429 is not an answer)", snap.Coalesced)
 	}
 }
 

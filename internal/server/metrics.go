@@ -14,7 +14,7 @@ import (
 type serverMetrics struct {
 	start time.Time
 
-	requests atomic.Uint64 // query requests received
+	requests atomic.Uint64 // query requests received (batch items included, one per item)
 	served   atomic.Uint64 // query requests answered 2xx
 	errored  atomic.Uint64 // query requests failed (4xx/5xx), excluding shed, timed-out, and canceled ones
 	rejected atomic.Uint64 // query requests shed by admission (429)
@@ -22,7 +22,12 @@ type serverMetrics struct {
 	canceled atomic.Uint64 // query requests aborted by the client (context.Canceled); disjoint from errored
 	// requests == served + errored + rejected + timeouts + canceled (plus any still in flight).
 	cacheServ atomic.Uint64 // query requests answered from the result cache
-	inFlight  atomic.Int64  // query requests currently being handled
+	coalesced atomic.Uint64 // query requests answered (shared result or deterministic query error) by joining an identical in-flight search
+	inFlight  atomic.Int64  // requests (query or batch) currently being handled
+
+	batchRequests atomic.Uint64 // POST /v1/query:batch envelopes received
+	batchItems    atomic.Uint64 // individual queries carried by accepted batches
+	batchDeduped  atomic.Uint64 // batch items answered by an identical item in the same batch
 
 	lat *latencyRing
 }
@@ -120,6 +125,10 @@ type statzSnapshot struct {
 	Timeouts      uint64       `json:"timeouts"`
 	Canceled      uint64       `json:"canceled"`
 	CacheServed   uint64       `json:"cache_served"`
+	Coalesced     uint64       `json:"coalesced"`
+	BatchRequests uint64       `json:"batch_requests"`
+	BatchItems    uint64       `json:"batch_items"`
+	BatchDeduped  uint64       `json:"batch_deduped"`
 	InFlight      int64        `json:"in_flight"`
 	BusyWorkers   int          `json:"busy_workers"`
 	QPS           float64      `json:"qps"`
@@ -153,6 +162,10 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 		Timeouts:      m.timeouts.Load(),
 		Canceled:      m.canceled.Load(),
 		CacheServed:   m.cacheServ.Load(),
+		Coalesced:     m.coalesced.Load(),
+		BatchRequests: m.batchRequests.Load(),
+		BatchItems:    m.batchItems.Load(),
+		BatchDeduped:  m.batchDeduped.Load(),
 		InFlight:      m.inFlight.Load(),
 		BusyWorkers:   adm.busy(),
 		QPS:           qps,

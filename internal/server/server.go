@@ -14,10 +14,16 @@
 //     pipeline (discovery, lattice construction, best-first search, hash
 //     joins), so a runaway query is abandoned at the next discovery-scan,
 //     node-evaluation, or join-batch boundary and the client gets a timeout
-//     error.
+//     error;
+//   - singleflight coalescing in front of the cache, so N concurrent
+//     identical misses share one engine search instead of burning N worker
+//     slots on the same work (see flightGroup);
+//   - a batch endpoint that amortizes admission and cache lookups across a
+//     request set, deduplicating identical items and bounding per-batch
+//     engine concurrency (see handleBatch).
 //
 // Endpoints: POST /v1/query (single- and multi-tuple queries),
-// GET /v1/entity/{name}, GET /healthz, GET /statz.
+// POST /v1/query:batch, GET /v1/entity/{name}, GET /healthz, GET /statz.
 package server
 
 import (
@@ -25,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/url"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -82,6 +90,13 @@ type Config struct {
 	// LatencyWindow is the number of recent query latencies kept for the
 	// /statz percentiles (default 1024).
 	LatencyWindow int
+	// MaxBatchItems caps how many queries one POST /v1/query:batch request
+	// may carry (default 64).
+	MaxBatchItems int
+	// MaxBatchConcurrency bounds how many of one batch's distinct queries
+	// run at once (default 4, never above MaxConcurrent): a single batch
+	// must not monopolize the worker pool against interactive traffic.
+	MaxBatchConcurrency int
 }
 
 // WithDefaults returns c with every unset field filled in and the
@@ -123,37 +138,59 @@ func (c *Config) fill() {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.MaxBatchConcurrency <= 0 {
+		c.MaxBatchConcurrency = 4
+	}
+	if c.MaxBatchConcurrency > c.MaxConcurrent {
+		c.MaxBatchConcurrency = c.MaxConcurrent
+	}
 }
 
 // maxBodyBytes bounds a query request body; tuples are entity names, so even
 // generous multi-tuple queries are far below this.
 const maxBodyBytes = 1 << 20
 
+// errInternal is the sentinel a panicking search publishes to its flight's
+// followers; classifyQueryError maps it to a generic 500 so panic detail
+// stays in the server log, never in a response.
+var errInternal = errors.New("server: internal error")
+
 // Server serves query-by-example requests over one immutable engine. It is
 // an http.Handler; all state it mutates is safe for concurrent use.
 type Server struct {
-	eng   *gqbe.Engine
-	cfg   Config
-	adm   *admission
-	cache *resultCache
-	met   *serverMetrics
-	mux   *http.ServeMux
+	eng     *gqbe.Engine
+	cfg     Config
+	adm     *admission
+	cache   *resultCache
+	flights *flightGroup
+	met     *serverMetrics
+	mux     *http.ServeMux
+
+	// execHook, when non-nil, is called at the start of every real engine
+	// execution (after admission, before the search). Tests use it to count
+	// and gate engine runs; it must be set before the first request.
+	execHook func()
 }
 
 // New builds a Server over eng with cfg's serving policy.
 func New(eng *gqbe.Engine, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		eng:   eng,
-		cfg:   cfg,
-		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
-		cache: newResultCache(cfg.CacheEntries, cfg.CacheShards),
-		met:   newServerMetrics(cfg.LatencyWindow),
-		mux:   http.NewServeMux(),
+		eng:     eng,
+		cfg:     cfg,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		flights: newFlightGroup(),
+		met:     newServerMetrics(cfg.LatencyWindow),
+		mux:     http.NewServeMux(),
 	}
 	// Method routing is done in the handlers (not mux patterns) so the
 	// binary behaves identically across Go releases.
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/query:batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/entity/", s.handleEntity)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
@@ -183,6 +220,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code, message string) {
 	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: message}})
+}
+
+// decodeBody decodes r's JSON body into dst under the byte limit, rejecting
+// unknown fields. On failure it writes the error response (413 for an
+// oversized body, 400 otherwise) and returns false; metric accounting is the
+// caller's.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
 }
 
 // queryRequest is the POST /v1/query body. Exactly one of Tuple and Tuples
@@ -223,11 +280,18 @@ type statsJSON struct {
 	Terminated     bool    `json:"terminated"`
 }
 
-// queryResponse is the POST /v1/query success body.
+// queryResponse is the POST /v1/query success body (and one item's result
+// in a /v1/query:batch response).
 type queryResponse struct {
 	Answers []answerJSON `json:"answers"`
 	Stats   statsJSON    `json:"stats"`
 	Cached  bool         `json:"cached"`
+	// Coalesced marks an answer obtained by joining an identical in-flight
+	// search instead of running one.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Deduped marks a batch item answered by an identical item in the same
+	// batch.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // normalize validates the request and returns the canonical tuple list and
@@ -323,19 +387,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
+	// Recover engine panics into a 500 (matching the batch path): letting
+	// them reach net/http's recover would kill the connection with the
+	// request counted in `requests` but in no outcome counter, silently
+	// breaking the /statz accounting invariant.
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("server: panic serving query: %v\n%s", p, debug.Stack())
+			s.met.errored.Add(1)
+			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
+		}
+	}()
 
 	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if !decodeBody(w, r, maxBodyBytes, &req) {
 		s.met.errored.Add(1)
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-			return
-		}
-		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
 		return
 	}
 	tuples, opts, err := req.normalize()
@@ -347,59 +413,229 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Resolve entity names before admission: an unknown name is answerable
 	// in microseconds, so it must not take a worker slot nor be recorded as
 	// a search latency (which would drag the /statz percentiles toward 0).
-	for _, t := range tuples {
-		for _, name := range t {
-			if !s.eng.HasEntity(name) {
-				s.met.errored.Add(1)
-				writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
-				return
-			}
-		}
+	if name, ok := unknownEntity(s.eng, tuples); !ok {
+		s.met.errored.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
+		return
 	}
 
 	key := cacheKeyFor(tuples, opts)
-	if !req.NoCache {
-		if res, ok := s.cache.get(key); ok {
-			// Cache hits are counted (cache_served) but deliberately NOT
-			// recorded in the latency ring: their microsecond times would
-			// drown out search latencies and collapse the /statz
-			// percentiles toward zero as the cache warms. The ring measures
-			// engine work — see execute.
-			s.met.cacheServ.Add(1)
-			s.met.served.Add(1)
-			writeJSON(w, http.StatusOK, toResponse(res, true))
-			return
-		}
-	}
-
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		// Clamp in milliseconds, before the Duration multiplication: a huge
-		// timeout_ms would otherwise overflow int64 nanoseconds and wrap
-		// past the MaxTimeout comparison.
-		ms := req.TimeoutMillis
-		if maxMS := int(s.cfg.MaxTimeout / time.Millisecond); ms > maxMS {
-			ms = maxMS
-		}
-		timeout = time.Duration(ms) * time.Millisecond
-	}
-	res, err := s.execute(r.Context(), tuples, opts, timeout)
+	res, flags, err := s.answer(r.Context(), key, tuples, opts, s.effectiveTimeout(req.TimeoutMillis), req.NoCache, nil)
 	if err != nil {
-		if errors.Is(err, errSaturated) {
-			s.met.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "overloaded",
-				"all workers busy; retry later")
-			return
-		}
 		s.writeQueryError(w, err)
 		return
 	}
-	if !req.NoCache && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
-		s.cache.put(key, res)
+	if flags.cached {
+		s.met.cacheServ.Add(1)
 	}
 	s.met.served.Add(1)
-	writeJSON(w, http.StatusOK, toResponse(res, false))
+	writeJSON(w, http.StatusOK, toResponse(res, flags))
+}
+
+// effectiveTimeout resolves a request's timeout_ms against the server's
+// default and cap. The clamp happens in milliseconds, before the Duration
+// multiplication: a huge timeout_ms would otherwise overflow int64
+// nanoseconds and wrap past the MaxTimeout comparison.
+func (s *Server) effectiveTimeout(timeoutMillis int) time.Duration {
+	if timeoutMillis <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	ms := timeoutMillis
+	if maxMS := int(s.cfg.MaxTimeout / time.Millisecond); ms > maxMS {
+		ms = maxMS
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// answerFlags says how a query was satisfied without engine work of its own.
+type answerFlags struct {
+	cached    bool // served from the result cache
+	coalesced bool // served by joining an identical in-flight search
+	deduped   bool // (batch only) served by an identical item in the same batch
+}
+
+// answer serves one normalized query through the full serving stack: result
+// cache, then singleflight coalescing, then admission + engine. It is the
+// shared core of /v1/query and /v1/query:batch.
+//
+// gate, when non-nil, is a batch's local concurrency bound: it is held only
+// around real engine runs — cache hits and coalescing followers consume
+// neither a gate slot nor a worker slot, so a batch of mostly-warm queries
+// overlaps fully. /v1/query passes nil.
+//
+// Cache hits and coalesced answers are counted but deliberately NOT recorded
+// in the latency ring: their microsecond-to-wait times would drown out search
+// latencies and collapse the /statz percentiles as the cache warms. The ring
+// measures engine work — see execute.
+func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}) (*gqbe.Result, answerFlags, error) {
+	acquireGate := func(waitOn context.Context) error {
+		if gate == nil {
+			return nil
+		}
+		select {
+		case gate <- struct{}{}:
+			return nil
+		case <-waitOn.Done():
+			return waitOn.Err()
+		}
+	}
+	releaseGate := func() {
+		if gate != nil {
+			<-gate
+		}
+	}
+	if noCache {
+		// no_cache exists to measure the engine, so it bypasses the flight
+		// group too: it must neither read shared state nor publish its
+		// result to followers.
+		if err := acquireGate(ctx); err != nil {
+			return nil, answerFlags{}, err
+		}
+		defer releaseGate()
+		res, err := s.execute(ctx, tuples, opts, timeout, nil)
+		return res, answerFlags{}, err
+	}
+	if res, ok := s.cache.get(key); ok {
+		return res, answerFlags{cached: true}, nil
+	}
+	// The wait budget is created once and spans retries, so a follower can
+	// never wait — or, after promotion to leader, compute — longer than its
+	// own budget no matter how many leaders die under it. The budget is
+	// queue wait plus search deadline: a directly served request gets both
+	// (admission wait is bounded separately from the search timeout), so a
+	// coalesced one must too, or it would 504 on searches it had the budget
+	// to survive. (A first-join leader gets its own deadline inside execute
+	// and never reads this one.)
+	wait, waitCancel := context.WithTimeout(ctx, s.cfg.MaxQueueWait+timeout)
+	defer waitCancel()
+	for retried := false; ; retried = true {
+		if retried {
+			// An interleaved flight may have completed and cached the result
+			// while this request waited on a dead leader; a hit here avoids
+			// a redundant search.
+			if res, ok := s.cache.get(key); ok {
+				return res, answerFlags{cached: true}, nil
+			}
+		}
+		// A promoted follower has already spent part of its budget waiting:
+		// gate waits and the execution (the qctx inside execute takes the
+		// tighter deadline) run under the remaining wait budget, not a
+		// fresh full timeout.
+		runCtx := ctx
+		if retried {
+			runCtx = wait
+		}
+		var f *flight
+		leader := false
+		if gate == nil {
+			f, leader = s.flights.join(key)
+		} else if ef, ok := s.flights.joinExisting(key); ok {
+			// A flight is already live: follow it gate-free — the gate
+			// bounds this batch's engine runs, and following runs nothing.
+			f = ef
+		} else {
+			// Take the gate slot BEFORE leadership: a leader stalled on the
+			// gate would hold its key's flight hostage — every external
+			// request for the key would coalesce onto a leader that has not
+			// even started, instead of running on free workers.
+			if err := acquireGate(runCtx); err != nil {
+				return nil, answerFlags{}, err
+			}
+			f, leader = s.flights.join(key)
+			if !leader {
+				releaseGate() // lost the creation race; follow gate-free
+			}
+		}
+		if leader {
+			defer releaseGate() // deferred so an engine panic cannot leak a gate slot
+			res, err := s.runFlight(runCtx, key, f, tuples, opts, timeout)
+			return res, answerFlags{}, err
+		}
+		select {
+		case <-f.done:
+			if f.err != nil && errors.Is(f.err, errSaturated) {
+				// The leader was shed after its full queue wait. Re-entering
+				// the flight group would serialize the followers into one
+				// admission attempt per MaxQueueWait — converting fast 429
+				// backpressure into tail 504s — so each follower instead
+				// makes its own concurrent admission attempt under its
+				// remaining budget, exactly as if it had never coalesced.
+				// At worst a freed-up slot lets a few duplicates search.
+				if err := acquireGate(wait); err != nil {
+					return nil, answerFlags{}, err
+				}
+				defer releaseGate()
+				res, err := s.execute(wait, tuples, opts, timeout, nil)
+				if err == nil && wait.Err() == nil && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
+					s.cache.put(key, res)
+				}
+				return res, answerFlags{}, err
+			}
+			if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				// The leader died of its own context — client abort or a
+				// shorter deadline than ours. That outcome is a property of
+				// the leader's request, not of the query, so retry: join the
+				// next flight or become its leader. Only deterministic
+				// query-level outcomes (results, unknown-entity/disconnected
+				// errors) are shared.
+				if errors.Is(f.err, context.DeadlineExceeded) {
+					// ...unless the re-run is provably doomed: a retry only
+					// helps when this request can give the search strictly
+					// more time than the dead leader's actual search got
+					// (admission queueing excluded — a leader that queued
+					// 900ms and searched 100ms says nothing about needing
+					// 1s; one that died before admission ran no search at
+					// all and says nothing, so the retry proceeds).
+					// Otherwise, burning a worker slot just to time out
+					// later is the exact hot-key waste coalescing prevents.
+					searched := f.searchElapsed()
+					if d, ok := wait.Deadline(); ok && searched > 0 && time.Until(d) <= searched {
+						return nil, answerFlags{}, context.DeadlineExceeded
+					}
+				}
+				continue
+			}
+			if errors.Is(f.err, errInternal) {
+				// A panicking leader is a transient server fault, not a
+				// shared answer: the follower gets the 500, but it does not
+				// count toward the coalescing-benefit metric.
+				return nil, answerFlags{}, f.err
+			}
+			s.met.coalesced.Add(1)
+			return f.res, answerFlags{coalesced: true}, f.err
+		case <-wait.Done():
+			// The follower's own deadline (or client) expired while the
+			// leader was still computing; the leader is unaffected.
+			return nil, answerFlags{}, wait.Err()
+		}
+	}
+}
+
+// runFlight executes the search as key's flight leader, caching a successful
+// result and guaranteeing the flight is finished — followers released — even
+// if the engine panics.
+func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration) (res *gqbe.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Followers get the sentinel, not the panic text: an engine
+			// panic is a server fault (500-class), and its detail belongs in
+			// the server log (net/http prints the re-panic), not on clients.
+			s.flights.finish(key, f, nil, errInternal)
+			panic(p)
+		}
+		// A result produced under a canceled leader context is never cached:
+		// the search may have been abandoned mid-pipeline, and a truncated
+		// answer set must not be served as the query's answer forever.
+		if err == nil && ctx.Err() == nil && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
+			s.cache.put(key, res)
+		}
+		// Cache before finish: a request arriving in between then hits the
+		// cache instead of starting a redundant flight.
+		s.flights.finish(key, f, res, err)
+	}()
+	// Stamp the search start (post-admission) on the flight: followers use
+	// it to judge whether retrying a timed-out leader could ever succeed.
+	return s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() })
 }
 
 // approxResultBytes estimates a result's retained size for the cache's
@@ -432,13 +668,19 @@ const minRecordedFailure = time.Millisecond
 // cache-hit path are. The worker slot guards the search only: it is
 // released when execute returns, before any response bytes are written, so
 // a slow-reading client cannot pin a slot.
-func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration) (res *gqbe.Result, err error) {
+func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func()) (res *gqbe.Result, err error) {
 	// Take a worker slot before running a search. Cache hits in the caller
 	// deliberately skip admission — they cost microseconds.
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.adm.release()
+	if onAdmitted != nil {
+		onAdmitted()
+	}
+	if s.execHook != nil {
+		s.execHook()
+	}
 	start := time.Now()
 	defer func() {
 		elapsed := time.Since(start)
@@ -454,30 +696,54 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	return s.eng.QueryMultiCtx(qctx, tuples, &opts)
 }
 
-// writeQueryError maps engine errors to the API's error vocabulary.
+// writeQueryError maps a query execution error to the API's error
+// vocabulary, bumping the matching outcome counter.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status, detail := s.classifyQueryError(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorBody{Error: detail})
+}
+
+// classifyQueryError is the single place execution errors become (status,
+// error detail) pairs and outcome counters — shared by /v1/query and each
+// /v1/query:batch item, so both report identically on /statz. Every call
+// accounts one request's outcome; for a deduped batch group it runs once per
+// item, keeping requests == served + errored + rejected + timeouts +
+// canceled exact.
+func (s *Server) classifyQueryError(err error) (int, errorDetail) {
 	switch {
+	case errors.Is(err, errSaturated):
+		s.met.rejected.Add(1)
+		return http.StatusTooManyRequests, errorDetail{Code: "overloaded",
+			Message: "all workers busy; retry later"}
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "timeout",
-			"query exceeded its deadline and was canceled")
+		return http.StatusGatewayTimeout, errorDetail{Code: "timeout",
+			Message: "query exceeded its deadline and was canceled"}
 	case errors.Is(err, context.Canceled):
 		// Client aborts are not server faults: tracked apart from errored
 		// so /statz error rates stay meaningful for alerting.
 		s.met.canceled.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "canceled", "query canceled")
+		return http.StatusServiceUnavailable, errorDetail{Code: "canceled", Message: "query canceled"}
+	case errors.Is(err, errInternal):
+		// A server fault (engine panic), not a property of the query: 500,
+		// with the detail kept out of the response.
+		s.met.errored.Add(1)
+		return http.StatusInternalServerError, errorDetail{Code: "internal", Message: "internal server error"}
 	case errors.Is(err, gqbe.ErrUnknownEntity):
 		s.met.errored.Add(1)
-		writeError(w, http.StatusNotFound, "unknown_entity", err.Error())
+		return http.StatusNotFound, errorDetail{Code: "unknown_entity", Message: err.Error()}
 	default:
 		// Engine-reported failures (disconnected tuple, row-budget blow-up,
 		// oversized MQG) are properties of the query, not server faults.
 		s.met.errored.Add(1)
-		writeError(w, http.StatusUnprocessableEntity, "query_failed", err.Error())
+		return http.StatusUnprocessableEntity, errorDetail{Code: "query_failed", Message: err.Error()}
 	}
 }
 
-func toResponse(res *gqbe.Result, cached bool) queryResponse {
+func toResponse(res *gqbe.Result, flags answerFlags) queryResponse {
 	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	out := queryResponse{
 		Answers: make([]answerJSON, 0, len(res.Answers)),
@@ -490,7 +756,9 @@ func toResponse(res *gqbe.Result, cached bool) queryResponse {
 			Stopped:        res.Stats.Stopped,
 			Terminated:     res.Stats.Terminated,
 		},
-		Cached: cached,
+		Cached:    flags.cached,
+		Coalesced: flags.coalesced,
+		Deduped:   flags.deduped,
 	}
 	for _, a := range res.Answers {
 		out.Answers = append(out.Answers, answerJSON{Entities: a.Entities, Score: a.Score})
