@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,8 +49,10 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		cacheEntries  = flag.Int("cache-entries", 1024, "result cache capacity in entries (negative disables)")
 		cacheShards   = flag.Int("cache-shards", 16, "result cache shard count")
+		cacheMinLat   = flag.Duration("cache-min-latency", time.Millisecond, "cache admission floor: don't cache results whose search was faster than this (negative caches everything)")
 		batchItems    = flag.Int("max-batch-items", 64, "max queries per /v1/query:batch request")
 		batchConc     = flag.Int("batch-concurrency", 4, "max engine searches one batch runs at once (capped at -max-concurrent)")
+		pprofAddr     = flag.String("pprof-addr", "", "optional address (e.g. 127.0.0.1:6060) serving net/http/pprof on a separate listener; empty disables")
 	)
 	flag.Parse()
 
@@ -75,6 +78,7 @@ func main() {
 		MaxTimeout:          *maxTimeout,
 		CacheEntries:        *cacheEntries,
 		CacheShards:         *cacheShards,
+		CacheMinLatency:     *cacheMinLat,
 		MaxBatchItems:       *batchItems,
 		MaxBatchConcurrency: *batchConc,
 	}.WithDefaults()
@@ -93,6 +97,24 @@ func main() {
 		// goroutines) forever.
 		WriteTimeout: cfg.MaxQueueWait + cfg.MaxTimeout + 30*time.Second,
 		IdleTimeout:  60 * time.Second,
+	}
+
+	// The profiling endpoints get their own mux and listener so they are
+	// never exposed on the serving address: perf investigations bind them to
+	// loopback while the query API faces the world.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("gqbed: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("gqbed: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

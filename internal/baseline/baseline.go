@@ -119,7 +119,8 @@ func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID
 		}
 		nonExcluded := 0
 		sScore := lat.SScore(q)
-		for _, row := range rows {
+		for i := 0; i < rows.Len(); i++ {
+			row := rows.Row(i)
 			tuple := ev.TupleOf(row)
 			k := key(tuple)
 			if excluded[k] {

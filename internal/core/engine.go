@@ -123,6 +123,10 @@ func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts 
 	if err != nil {
 		return nil, err
 	}
+	// The BFS distance table is only needed during discovery; recycle it so
+	// concurrent serving reuses a few tables instead of allocating
+	// two NumNodes-sized arrays per query.
+	defer nres.Release()
 	m, err := mqg.DiscoverCtx(ctx, e.stats, nres.Reduced, tuple, opts.MQGSize)
 	if err != nil {
 		return nil, err

@@ -111,12 +111,12 @@ func TestQuickEvaluatorMatchesBruteForce(t *testing.T) {
 			return false
 		}
 		want := bruteForceMatch(g, m.Sub)
-		if len(rows) != len(want) {
+		if rows.Len() != len(want) {
 			return false
 		}
-		got := make(map[string]bool, len(rows))
-		for _, row := range rows {
-			got[rowKey(ev, row)] = true
+		got := make(map[string]bool, rows.Len())
+		for i := 0; i < rows.Len(); i++ {
+			got[rowKey(ev, rows.Row(i))] = true
 		}
 		for _, assignment := range want {
 			parts := make([]string, 0, len(assignment))
@@ -167,15 +167,15 @@ func TestQuickIncrementalEqualsScratchEverywhere(t *testing.T) {
 				return false
 			}
 			inc, _ := evInc.Rows(q)
-			if len(inc) != len(scr) {
+			if inc.Len() != scr.Len() {
 				return false
 			}
-			set := make(map[string]bool, len(inc))
-			for _, row := range inc {
-				set[rowKey(evInc, row)] = true
+			set := make(map[string]bool, inc.Len())
+			for i := 0; i < inc.Len(); i++ {
+				set[rowKey(evInc, inc.Row(i))] = true
 			}
-			for _, row := range scr {
-				if !set[rowKey(evScr, row)] {
+			for i := 0; i < scr.Len(); i++ {
+				if !set[rowKey(evScr, scr.Row(i))] {
 					return false
 				}
 			}

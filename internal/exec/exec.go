@@ -8,6 +8,12 @@
 // match), so an answer is an injective assignment of data-graph nodes to the
 // query graph's nodes such that every query edge maps to a data edge with
 // the same label.
+//
+// Materialized answers live in flat arenas: a lattice node's rows are one
+// backing []graph.NodeID with stride = slot count (Rows), not millions of
+// individual row slices. Arenas grow geometrically and are recycled across
+// lattice nodes within one evaluator, so a search's join traffic is a
+// handful of large allocations instead of per-row garbage.
 package exec
 
 import (
@@ -15,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"gqbe/internal/graph"
 	"gqbe/internal/lattice"
@@ -41,8 +48,28 @@ var ErrTooManyRows = errors.New("exec: intermediate result exceeds row budget")
 const cancelCheckInterval = 4096
 
 // Row is one answer graph: the data node bound to each query-graph node
-// slot. Slot order is fixed by the Evaluator (see NodeAt).
+// slot. Slot order is fixed by the Evaluator (see NodeAt). A Row obtained
+// from Rows.Row is a view into the arena: valid until the owning lattice
+// node is Released, and never to be modified by callers.
 type Row []graph.NodeID
+
+// Rows is one lattice node's materialized answer set: row i occupies
+// data[i*stride : (i+1)*stride] of a single flat arena.
+type Rows struct {
+	data   []graph.NodeID
+	stride int
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int {
+	if r == nil || r.stride == 0 {
+		return 0
+	}
+	return len(r.data) / r.stride
+}
+
+// Row returns row i as a zero-copy view into the arena.
+func (r *Rows) Row(i int) Row { return Row(r.data[i*r.stride : (i+1)*r.stride]) }
 
 // Evaluator evaluates lattice nodes over one store, memoizing results.
 // It is single-query state and not safe for concurrent use.
@@ -59,7 +86,12 @@ type Evaluator struct {
 
 	entitySlots []int // tuple position → slot
 
-	results map[lattice.EdgeSet][]Row
+	unboundRow []graph.NodeID // stride Unbound values, the scanEdge template
+
+	results map[lattice.EdgeSet]*Rows
+	// free holds arenas recycled by Release and by superseded scratch
+	// intermediates, reused by later evaluations.
+	free [][]graph.NodeID
 	// evaluated counts distinct lattice nodes evaluated (Fig. 15's metric).
 	evaluated int
 }
@@ -90,7 +122,7 @@ func New(s *storage.Store, l *lattice.Lattice, opts ...Option) *Evaluator {
 		maxRows: DefaultMaxRows,
 		ctx:     context.Background(),
 		slotOf:  make(map[graph.NodeID]int),
-		results: make(map[lattice.EdgeSet][]Row),
+		results: make(map[lattice.EdgeSet]*Rows),
 	}
 	slot := func(v graph.NodeID) int {
 		if i, ok := ev.slotOf[v]; ok {
@@ -107,6 +139,10 @@ func New(s *storage.Store, l *lattice.Lattice, opts ...Option) *Evaluator {
 	}
 	for _, v := range l.M.Tuple {
 		ev.entitySlots = append(ev.entitySlots, ev.slotOf[v])
+	}
+	ev.unboundRow = make([]graph.NodeID, len(ev.nodes))
+	for i := range ev.unboundRow {
+		ev.unboundRow[i] = Unbound
 	}
 	for _, o := range opts {
 		o(ev)
@@ -133,13 +169,19 @@ func (ev *Evaluator) EdgeSlots(i int) (int, int) { return ev.srcSlot[i], ev.dstS
 // order.
 func (ev *Evaluator) EntitySlots() []int { return ev.entitySlots }
 
-// TupleOf projects a row to its answer tuple (Def. 3's t_A).
+// TupleOf projects a row to its answer tuple (Def. 3's t_A), allocating the
+// result. Hot loops should use AppendTuple with a reused buffer instead.
 func (ev *Evaluator) TupleOf(row Row) []graph.NodeID {
-	out := make([]graph.NodeID, len(ev.entitySlots))
-	for i, s := range ev.entitySlots {
-		out[i] = row[s]
+	return ev.AppendTuple(nil, row)
+}
+
+// AppendTuple appends row's answer tuple to dst and returns the extended
+// slice; passing dst[:0] across rows makes tuple projection allocation-free.
+func (ev *Evaluator) AppendTuple(dst []graph.NodeID, row Row) []graph.NodeID {
+	for _, s := range ev.entitySlots {
+		dst = append(dst, row[s])
 	}
-	return out
+	return dst
 }
 
 // Evaluated returns the number of distinct lattice nodes this evaluator has
@@ -147,19 +189,50 @@ func (ev *Evaluator) TupleOf(row Row) []graph.NodeID {
 func (ev *Evaluator) Evaluated() int { return ev.evaluated }
 
 // Rows returns the materialized answers of q, if it has been evaluated.
-func (ev *Evaluator) Rows(q lattice.EdgeSet) ([]Row, bool) {
+func (ev *Evaluator) Rows(q lattice.EdgeSet) (*Rows, bool) {
 	rows, ok := ev.results[q]
 	return rows, ok
 }
 
-// Release drops the materialized answers of q to free memory.
-func (ev *Evaluator) Release(q lattice.EdgeSet) { delete(ev.results, q) }
+// Release drops the materialized answers of q, recycling their arena for
+// later evaluations. Rows previously returned for q become invalid.
+func (ev *Evaluator) Release(q lattice.EdgeSet) {
+	if rows, ok := ev.results[q]; ok {
+		ev.recycle(rows)
+		delete(ev.results, q)
+	}
+}
+
+// newRows returns an empty row set backed by a recycled arena when one is
+// available, with capacity for at least capRows rows either way.
+func (ev *Evaluator) newRows(capRows int) *Rows {
+	stride := len(ev.nodes)
+	want := capRows * stride
+	// want == 0 never draws from the pool: an empty result needs no
+	// backing, and memoized empty nodes must not pin recycled arenas.
+	if n := len(ev.free); n > 0 && want > 0 {
+		// Reuse the top arena when it can hold the hint; a too-small one
+		// stays pooled for a smaller consumer and a fresh arena is cut.
+		if data := ev.free[n-1]; cap(data) >= want {
+			ev.free = ev.free[:n-1]
+			return &Rows{data: data[:0], stride: stride}
+		}
+	}
+	return &Rows{data: make([]graph.NodeID, 0, want), stride: stride}
+}
+
+// recycle returns an arena to the free list for reuse.
+func (ev *Evaluator) recycle(rows *Rows) {
+	if rows != nil && cap(rows.data) > 0 {
+		ev.free = append(ev.free, rows.data[:0])
+	}
+}
 
 // Evaluate returns all answer graphs of query graph q, evaluating and
 // memoizing it if needed. If some already-evaluated child Q' = q − e exists,
 // only the one extra edge is joined against Q”s materialized rows;
 // otherwise q is evaluated from scratch in a selectivity-greedy join order.
-func (ev *Evaluator) Evaluate(q lattice.EdgeSet) ([]Row, error) {
+func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 	if rows, ok := ev.results[q]; ok {
 		return rows, nil
 	}
@@ -172,7 +245,8 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) ([]Row, error) {
 	ev.evaluated++
 
 	// Prefer extending a materialized child by one edge (shared computation).
-	for _, i := range ev.lat.EdgeIndices(q) {
+	for r := uint64(q); r != 0; r &= r - 1 {
+		i := bits.TrailingZeros64(r)
 		child := q &^ lattice.Bit(i)
 		if childRows, ok := ev.results[child]; ok {
 			rows, err := ev.joinEdge(childRows, i)
@@ -195,7 +269,9 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) ([]Row, error) {
 // evaluateScratch evaluates q with no materialized child: edges are joined
 // one at a time, always picking a next edge that shares a bound slot, with
 // the smallest table first (join selectivity dominates cost, §VI-D).
-func (ev *Evaluator) evaluateScratch(q lattice.EdgeSet) ([]Row, error) {
+// Intermediate row sets are recycled as soon as the next join supersedes
+// them — only the final result keeps its arena.
+func (ev *Evaluator) evaluateScratch(q lattice.EdgeSet) (*Rows, error) {
 	remaining := ev.lat.EdgeIndices(q)
 	if len(remaining) == 0 {
 		return nil, errors.New("exec: empty query graph")
@@ -241,10 +317,12 @@ func (ev *Evaluator) evaluateScratch(q lattice.EdgeSet) ([]Row, error) {
 			// graphs; guard against misuse with invalid edge sets.
 			return nil, fmt.Errorf("exec: query graph %b is not weakly connected", q)
 		}
-		rows, err = ev.joinEdge(rows, pick)
+		next, err := ev.joinEdge(rows, pick)
 		if err != nil {
 			return nil, err
 		}
+		ev.recycle(rows) // superseded intermediate: arena goes back to the pool
+		rows = next
 		bound[ev.srcSlot[pick]] = true
 		bound[ev.dstSlot[pick]] = true
 		out := rest[:0]
@@ -259,18 +337,18 @@ func (ev *Evaluator) evaluateScratch(q lattice.EdgeSet) ([]Row, error) {
 }
 
 // scanEdge materializes the base relation: one row per pair in edge i's
-// label table.
-func (ev *Evaluator) scanEdge(i int) ([]Row, error) {
+// label table, written directly into a flat arena.
+func (ev *Evaluator) scanEdge(i int) (*Rows, error) {
+	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
 	t, ok := ev.store.Table(ev.lat.M.Sub.Edges[i].Label)
 	if !ok {
-		return nil, nil
+		return ev.newRows(0), nil // label with no edges: no answers
 	}
-	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
 	pairs := t.Pairs()
 	if len(pairs) > ev.maxRows {
 		return nil, fmt.Errorf("%w: base scan of %d rows", ErrTooManyRows, len(pairs))
 	}
-	rows := make([]Row, 0, len(pairs))
+	out := ev.newRows(len(pairs))
 	for n, p := range pairs {
 		if n%cancelCheckInterval == 0 {
 			if err := ev.ctx.Err(); err != nil {
@@ -285,46 +363,57 @@ func (ev *Evaluator) scanEdge(i int) ([]Row, error) {
 		} else if p.Subj == p.Obj {
 			continue // injectivity: two distinct query nodes, one data node
 		}
-		row := ev.newRow()
-		row[ss] = p.Subj
-		row[ds] = p.Obj
-		rows = append(rows, row)
+		base := len(out.data)
+		out.data = append(out.data, ev.unboundRow...)
+		out.data[base+ss] = p.Subj
+		out.data[base+ds] = p.Obj
 	}
-	return rows, nil
+	return out, nil
 }
 
 // joinEdge is the hash-join of §V-A: the rows are the probe relation, the
 // label table of edge i is the build relation. Depending on which endpoint
 // slots are already bound, the join verifies the edge, extends rows by one
 // new binding, or (never for valid lattice parents) both endpoints are new.
-func (ev *Evaluator) joinEdge(rows []Row, i int) ([]Row, error) {
+// Output rows are appended to a fresh arena; the probe rows are not touched.
+func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
+	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
 	t, ok := ev.store.Table(ev.lat.M.Sub.Edges[i].Label)
 	if !ok {
-		return nil, nil // label with no edges: no answers
+		return ev.newRows(0), nil // label with no edges: no answers
 	}
-	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
-	var out []Row
-	push := func(r Row) error {
-		out = append(out, r)
-		if len(out) > ev.maxRows {
+	nrows := rows.Len()
+	out := ev.newRows(nrows)
+	stride := out.stride
+	count := 0
+	// push copies src into the arena, then overwrites slot (when >= 0) with
+	// v — the one-copy equivalent of the old extend-then-append.
+	push := func(src Row, slot int, v graph.NodeID) error {
+		out.data = append(out.data, src...)
+		if slot >= 0 {
+			out.data[len(out.data)-stride+slot] = v
+		}
+		count++
+		if count > ev.maxRows {
 			return fmt.Errorf("%w: joining edge %d", ErrTooManyRows, i)
 		}
-		if len(out)%cancelCheckInterval == 0 {
+		if count%cancelCheckInterval == 0 {
 			return ev.ctx.Err()
 		}
 		return nil
 	}
-	for n, row := range rows {
+	for n := 0; n < nrows; n++ {
 		if n%cancelCheckInterval == 0 {
 			if err := ev.ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
+		row := rows.Row(n)
 		bs, bd := row[ss] != Unbound, row[ds] != Unbound
 		switch {
 		case bs && bd:
 			if t.Has(row[ss], row[ds]) {
-				if err := push(row); err != nil {
+				if err := push(row, -1, 0); err != nil {
 					return nil, err
 				}
 			}
@@ -333,8 +422,7 @@ func (ev *Evaluator) joinEdge(rows []Row, i int) ([]Row, error) {
 				if ev.conflicts(row, obj) {
 					continue
 				}
-				nr := ev.extend(row, ds, obj)
-				if err := push(nr); err != nil {
+				if err := push(row, ds, obj); err != nil {
 					return nil, err
 				}
 			}
@@ -343,8 +431,7 @@ func (ev *Evaluator) joinEdge(rows []Row, i int) ([]Row, error) {
 				if ev.conflicts(row, subj) {
 					continue
 				}
-				nr := ev.extend(row, ss, subj)
-				if err := push(nr); err != nil {
+				if err := push(row, ss, subj); err != nil {
 					return nil, err
 				}
 			}
@@ -359,11 +446,10 @@ func (ev *Evaluator) joinEdge(rows []Row, i int) ([]Row, error) {
 				if ss != ds && p.Subj == p.Obj {
 					continue
 				}
-				nr := ev.extend(row, ss, p.Subj)
-				nr[ds] = p.Obj
-				if err := push(nr); err != nil {
+				if err := push(row, ss, p.Subj); err != nil {
 					return nil, err
 				}
+				out.data[len(out.data)-stride+ds] = p.Obj
 			}
 		}
 	}
@@ -379,19 +465,4 @@ func (ev *Evaluator) conflicts(row Row, v graph.NodeID) bool {
 		}
 	}
 	return false
-}
-
-func (ev *Evaluator) newRow() Row {
-	row := make(Row, len(ev.nodes))
-	for i := range row {
-		row[i] = Unbound
-	}
-	return row
-}
-
-func (ev *Evaluator) extend(row Row, slot int, v graph.NodeID) Row {
-	nr := make(Row, len(row))
-	copy(nr, row)
-	nr[slot] = v
-	return nr
 }

@@ -51,10 +51,10 @@ func fig1Fixture(t *testing.T) (*graph.Graph, *lattice.Lattice, *Evaluator) {
 }
 
 // tupleNames projects every row to entity names, sorted for comparison.
-func tupleNames(g *graph.Graph, ev *Evaluator, rows []Row) []string {
+func tupleNames(g *graph.Graph, ev *Evaluator, rows *Rows) []string {
 	var out []string
-	for _, r := range rows {
-		tu := ev.TupleOf(r)
+	for i := 0; i < rows.Len(); i++ {
+		tu := ev.TupleOf(rows.Row(i))
 		s := ""
 		for i, v := range tu {
 			if i > 0 {
@@ -74,8 +74,8 @@ func TestEvaluateSingleEdge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 7 {
-		t.Fatalf("founded edge matched %d rows, want 7", len(rows))
+	if rows.Len() != 7 {
+		t.Fatalf("founded edge matched %d rows, want 7", rows.Len())
 	}
 	got := tupleNames(g, ev, rows)
 	want := []string{
@@ -176,10 +176,10 @@ func TestInjectivity(t *testing.T) {
 	}
 	// Candidate chains: a->b->a (violates injectivity), a->b->c (ok),
 	// b->a->b (violates). Only one survives.
-	if len(rows) != 1 {
-		t.Fatalf("got %d rows, want 1 (injectivity must drop cyclic matches)", len(rows))
+	if rows.Len() != 1 {
+		t.Fatalf("got %d rows, want 1 (injectivity must drop cyclic matches)", rows.Len())
 	}
-	tu := ev.TupleOf(rows[0])
+	tu := ev.TupleOf(rows.Row(0))
 	if g.Name(tu[0]) != "a" || g.Name(tu[1]) != "c" {
 		t.Errorf("surviving tuple = %s,%s", g.Name(tu[0]), g.Name(tu[1]))
 	}

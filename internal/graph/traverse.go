@@ -3,12 +3,102 @@ package graph
 // This file holds traversals over the big data graph: undirected BFS from a
 // seed set (the basis of the neighborhood graph of Def. 1) and undirected
 // reachability checks.
-
-// UndirectedDistances runs a breadth-first search from the seed nodes,
-// treating every edge as undirected, and returns the hop distance of each
-// reached node, up to and including maxDepth. Seeds have distance 0.
 //
-// The result maps only reached nodes; absent nodes are farther than maxDepth.
+// The BFS state lives in a DistMap — flat arrays indexed by dense NodeID
+// with an epoch stamp — instead of a Go map: distance reads become one
+// array load, and clearing between passes is O(1), so one allocation serves
+// every BFS a query runs.
+
+// DistMap is a flat BFS distance table over dense node IDs. An entry is
+// live only when its stamp matches the current epoch, so Reset invalidates
+// the whole table in O(1) without touching memory.
+type DistMap struct {
+	dist  []int32
+	stamp []uint32
+	epoch uint32
+	order []NodeID // reached nodes in visit (BFS) order
+}
+
+// NewDistMap returns a table covering node IDs [0, numNodes).
+func NewDistMap(numNodes int) *DistMap {
+	return &DistMap{
+		dist:  make([]int32, numNodes),
+		stamp: make([]uint32, numNodes),
+		epoch: 1,
+	}
+}
+
+// Reset clears the table for a new BFS pass.
+func (d *DistMap) Reset() {
+	d.epoch++
+	d.order = d.order[:0]
+	if d.epoch == 0 {
+		// The 32-bit epoch wrapped (4 billion resets): the stale stamps are
+		// indistinguishable from live ones, so clear them once.
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.epoch = 1
+	}
+}
+
+// Add records v at distance dv if it is unseen in this epoch, reporting
+// whether it was added. Out-of-range IDs are ignored.
+func (d *DistMap) Add(v NodeID, dv int) bool {
+	if v < 0 || int(v) >= len(d.dist) || d.stamp[v] == d.epoch {
+		return false
+	}
+	d.stamp[v] = d.epoch
+	d.dist[v] = int32(dv)
+	d.order = append(d.order, v)
+	return true
+}
+
+// Get returns v's distance and whether v was reached this epoch.
+func (d *DistMap) Get(v NodeID) (int, bool) {
+	if v < 0 || int(v) >= len(d.dist) || d.stamp[v] != d.epoch {
+		return 0, false
+	}
+	return int(d.dist[v]), true
+}
+
+// Size returns the node-ID range the table covers (its NewDistMap argument).
+func (d *DistMap) Size() int { return len(d.dist) }
+
+// Reached returns the reached nodes in BFS visit order. The slice is owned
+// by the map and valid until the next Reset.
+func (d *DistMap) Reached() []NodeID { return d.order }
+
+// UndirectedDistancesInto runs a breadth-first search from the seed nodes,
+// treating every edge as undirected, recording into d (which is Reset
+// first) the hop distance of each reached node up to and including
+// maxDepth. Seeds have distance 0. The reached set doubles as the BFS
+// queue, so the pass allocates nothing beyond d's own growth.
+func (g *Graph) UndirectedDistancesInto(d *DistMap, seeds []NodeID, maxDepth int) {
+	d.Reset()
+	for _, s := range seeds {
+		d.Add(s, 0)
+	}
+	for head := 0; head < len(d.order); head++ {
+		v := d.order[head]
+		dv := int(d.dist[v])
+		if dv == maxDepth {
+			continue
+		}
+		for _, a := range g.out[v] {
+			d.Add(a.Node, dv+1)
+		}
+		for _, a := range g.in[v] {
+			d.Add(a.Node, dv+1)
+		}
+	}
+}
+
+// UndirectedDistances is the map-returning BFS for callers off the hot
+// path. It deliberately stays map-based: its cost (and memory) is
+// proportional to the reached set, not to NumNodes, which matters for
+// callers that run many shallow BFS passes over a huge graph (e.g. the
+// NESS baseline's per-pivot neighborhoods).
 func (g *Graph) UndirectedDistances(seeds []NodeID, maxDepth int) map[NodeID]int {
 	dist := make(map[NodeID]int, 16)
 	queue := make([]NodeID, 0, len(seeds))

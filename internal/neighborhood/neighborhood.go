@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"gqbe/internal/graph"
 )
@@ -34,9 +35,34 @@ type Result struct {
 	// Reduced is H'_t: the weakly connected component of Ht, after
 	// unimportant-edge removal, that contains all query entities.
 	Reduced *graph.SubGraph
-	// Dist maps every node of Ht to its shortest undirected hop distance
-	// from the nearest query entity (query entities map to 0).
-	Dist map[graph.NodeID]int
+	// Dist holds, for every node of Ht, its shortest undirected hop
+	// distance from the nearest query entity (query entities are at 0).
+	Dist *graph.DistMap
+}
+
+// distPool recycles full-graph DistMaps between extractions: the table is
+// two NumNodes-sized arrays, and allocating (and zeroing) them per query
+// would defeat the O(1) epoch Reset they were built around. Tables from a
+// different-sized graph are dropped on Get.
+var distPool sync.Pool
+
+func getDistMap(numNodes int) *graph.DistMap {
+	if v := distPool.Get(); v != nil {
+		if dm := v.(*graph.DistMap); dm.Size() == numNodes {
+			return dm
+		}
+	}
+	return graph.NewDistMap(numNodes)
+}
+
+// Release returns the result's distance table to the extraction pool. Call
+// it once discovery is done with the result; Dist must not be read after.
+// Releasing is optional — an unreleased table is simply garbage.
+func (r *Result) Release() {
+	if r.Dist != nil {
+		distPool.Put(r.Dist)
+		r.Dist = nil
+	}
 }
 
 // Extract builds H_t and H'_t for the query tuple over data graph g with
@@ -72,13 +98,19 @@ func ExtractCtx(ctx context.Context, g *graph.Graph, tuple []graph.NodeID, d int
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	dist := g.UndirectedDistances(tuple, d)
+	dist := getDistMap(g.NumNodes())
+	g.UndirectedDistancesInto(dist, tuple, d)
 	ht, err := extractEdges(ctx, g, dist, d)
 	if err != nil {
+		distPool.Put(dist)
 		return nil, err
 	}
 	reduced, err := reduce(ctx, g, ht, tuple, dist, d)
 	if err != nil {
+		// Canceled and disconnected extractions are the common tail under
+		// load; the borrowed table goes back to the pool on those paths
+		// too, not just via Result.Release.
+		distPool.Put(dist)
 		return nil, err
 	}
 	return &Result{Ht: ht, Reduced: reduced, Dist: dist}, nil
@@ -88,16 +120,15 @@ func ExtractCtx(ctx context.Context, g *graph.Graph, tuple []graph.NodeID, d int
 // dist ≤ d; an edge (u,v) is in E(H_t) iff min(dist(u), dist(v)) ≤ d−1,
 // since it then lies on an undirected path of length ≤ d from a query
 // entity (walk to the nearer endpoint, then cross the edge).
-func extractEdges(ctx context.Context, g *graph.Graph, dist map[graph.NodeID]int, d int) (*graph.SubGraph, error) {
+func extractEdges(ctx context.Context, g *graph.Graph, dist *graph.DistMap, d int) (*graph.SubGraph, error) {
 	var edges []graph.Edge
-	n := 0
-	for v, dv := range dist {
-		n++
+	for n, v := range dist.Reached() {
 		if n%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
+		dv, _ := dist.Get(v)
 		if dv > d-1 {
 			continue
 		}
@@ -123,6 +154,9 @@ type labelDir struct {
 
 // avoidBFS returns hop distances within ht from the query entities other
 // than avoid, over paths that never enter the avoid node, up to maxDepth.
+// It runs over the small extracted subgraph, so a map proportional to the
+// reached set beats a flat array sized by the whole data graph (one such
+// table per entity would be alive simultaneously).
 func avoidBFS(ht *graph.SubGraph, adj map[graph.NodeID][]int, tuple []graph.NodeID, avoid graph.NodeID, maxDepth int) map[graph.NodeID]int {
 	dist := make(map[graph.NodeID]int)
 	var queue []graph.NodeID
@@ -172,13 +206,14 @@ func avoidBFS(ht *graph.SubGraph, adj map[graph.NodeID][]int, tuple []graph.Node
 //
 // e ∈ UE(x) iff e ∉ IE(x) and some e' ∈ IE(x) shares e's label and
 // orientation at x. An edge is unimportant iff it is in UE(u) or UE(v).
-func reduce(ctx context.Context, g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist map[graph.NodeID]int, d int) (*graph.SubGraph, error) {
+func reduce(ctx context.Context, g *graph.Graph, ht *graph.SubGraph, tuple []graph.NodeID, dist *graph.DistMap, d int) (*graph.SubGraph, error) {
 	isEntity := make(map[graph.NodeID]bool, len(tuple))
 	for _, v := range tuple {
 		isEntity[v] = true
 	}
 	// distOther[vi][u]: shortest hop distance within ht from u to any query
-	// entity other than vi, over paths that avoid vi.
+	// entity other than vi, over paths that avoid vi. One table per entity —
+	// they are all consulted during the edge passes below.
 	adj := ht.Adjacency()
 	distOther := make(map[graph.NodeID]map[graph.NodeID]int, len(tuple))
 	for _, vi := range tuple {
@@ -192,7 +227,8 @@ func reduce(ctx context.Context, g *graph.Graph, ht *graph.SubGraph, tuple []gra
 			dd, ok := distOther[avoiding][from]
 			return ok && 1+dd <= d
 		}
-		return dist[from] <= d-1
+		dv, ok := dist.Get(from)
+		return ok && dv <= d-1
 	}
 	// Pass 1: collect the IE label/orientation signature of every node.
 	ie := make(map[graph.NodeID]map[labelDir]bool)

@@ -91,8 +91,8 @@ func TestDistances(t *testing.T) {
 		"David Filo": 1,
 	}
 	for name, want := range cases {
-		if got := res.Dist[g.MustNode(name)]; got != want {
-			t.Errorf("Dist[%s] = %d, want %d", name, got, want)
+		if got, ok := res.Dist.Get(g.MustNode(name)); !ok || got != want {
+			t.Errorf("Dist[%s] = %d (reached %v), want %d", name, got, ok, want)
 		}
 	}
 }

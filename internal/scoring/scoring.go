@@ -6,6 +6,8 @@
 package scoring
 
 import (
+	"math/bits"
+
 	"gqbe/internal/exec"
 	"gqbe/internal/lattice"
 	"gqbe/internal/mqg"
@@ -42,7 +44,11 @@ func (s *Scorer) SScore(q lattice.EdgeSet) float64 { return s.lat.SScore(q) }
 // can never match identically.
 func (s *Scorer) CScore(q lattice.EdgeSet, row exec.Row) float64 {
 	total := 0.0
-	for _, i := range s.lat.EdgeIndices(q) {
+	// Iterate q's bits directly: CScore runs once per absorbed row, and
+	// materializing the edge-index slice (lattice.EdgeIndices) would put an
+	// allocation on that loop.
+	for r := uint64(q); r != 0; r &= r - 1 {
+		i := bits.TrailingZeros64(r)
 		ss, ds := s.ev.EdgeSlots(i)
 		u, v := s.ev.NodeAt(ss), s.ev.NodeAt(ds)
 		uMatch := !mqg.IsVirtual(u) && row[ss] == u

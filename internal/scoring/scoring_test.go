@@ -55,7 +55,8 @@ func rowFor(t *testing.T, g *graph.Graph, ev *exec.Evaluator, q lattice.EdgeSet,
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range rows {
+	for i := 0; i < rows.Len(); i++ {
+		r := rows.Row(i)
 		if g.Name(ev.TupleOf(r)[0]) == firstEntity {
 			return r
 		}
@@ -161,7 +162,8 @@ func TestVirtualEntitiesNeverMatchIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range rows {
+	for i := 0; i < rows.Len(); i++ {
+		row := rows.Row(i)
 		tu := ev.TupleOf(row)
 		c := sc.CScore(lat.Full(), row)
 		// Only the Sunnyvale binding can earn credit; w1/w2 never do.

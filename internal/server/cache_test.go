@@ -2,7 +2,9 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"testing"
+	"time"
 
 	"gqbe"
 )
@@ -137,5 +139,58 @@ func TestCacheShardDistribution(t *testing.T) {
 		if n == 0 {
 			t.Errorf("shard %d empty after 1024 inserts", i)
 		}
+	}
+}
+
+// TestCacheMinLatencyFloor: results computed faster than the admission
+// floor are not cached (cheaper to recompute than to evict real work for),
+// and the skips are counted on /statz. The Fig. 1 engine answers in
+// microseconds, so a generous floor rejects everything.
+func TestCacheMinLatencyFloor(t *testing.T) {
+	s := newTestServer(t, Config{CacheMinLatency: 10 * time.Second})
+
+	w := postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	w = postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`)
+	if res := decodeQuery(t, w); res.Cached {
+		t.Fatal("sub-floor result was cached")
+	}
+	snap := statz(t, s)
+	if snap.Cache.SkippedFast < 2 {
+		t.Errorf("cache.skipped_fast = %d, want >= 2", snap.Cache.SkippedFast)
+	}
+	if snap.Cache.Entries != 0 {
+		t.Errorf("cache entries = %d, want 0", snap.Cache.Entries)
+	}
+}
+
+// TestCacheMinLatencyDisabled: a negative floor admits everything — the
+// pre-floor behavior, and what most serving tests run with.
+func TestCacheMinLatencyDisabled(t *testing.T) {
+	s := newTestServer(t, Config{CacheMinLatency: -1})
+	postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`)
+	w := postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`)
+	if res := decodeQuery(t, w); !res.Cached {
+		t.Fatal("repeat query missed the cache with the floor disabled")
+	}
+	if snap := statz(t, s); snap.Cache.SkippedFast != 0 {
+		t.Errorf("cache.skipped_fast = %d, want 0", snap.Cache.SkippedFast)
+	}
+}
+
+// TestCacheMinLatencyDefault: the zero Config selects a 1ms floor.
+func TestCacheMinLatencyDefault(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.CacheMinLatency != time.Millisecond {
+		t.Errorf("default CacheMinLatency = %v, want 1ms", cfg.CacheMinLatency)
+	}
+	// The disabled sentinel must survive repeated normalization: gqbed
+	// fills the config once via WithDefaults and again inside New, and a
+	// double fill must not re-enable the floor.
+	cfg = Config{CacheMinLatency: -1}.WithDefaults().WithDefaults()
+	if cfg.CacheMinLatency >= 0 {
+		t.Errorf("negative CacheMinLatency normalized to %v; disabled state lost", cfg.CacheMinLatency)
 	}
 }

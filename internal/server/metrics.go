@@ -22,8 +22,11 @@ type serverMetrics struct {
 	canceled atomic.Uint64 // query requests aborted by the client (context.Canceled); disjoint from errored
 	// requests == served + errored + rejected + timeouts + canceled (plus any still in flight).
 	cacheServ atomic.Uint64 // query requests answered from the result cache
-	coalesced atomic.Uint64 // query requests answered (shared result or deterministic query error) by joining an identical in-flight search
-	inFlight  atomic.Int64  // requests (query or batch) currently being handled
+	// cacheSkippedFast counts successful searches not cached because they
+	// finished under the CacheMinLatency admission floor.
+	cacheSkippedFast atomic.Uint64
+	coalesced        atomic.Uint64 // query requests answered (shared result or deterministic query error) by joining an identical in-flight search
+	inFlight         atomic.Int64  // requests (query or batch) currently being handled
 
 	batchRequests atomic.Uint64 // POST /v1/query:batch envelopes received
 	batchItems    atomic.Uint64 // individual queries carried by accepted batches
@@ -98,6 +101,9 @@ type statzCache struct {
 	Misses    uint64  `json:"misses"`
 	Evictions uint64  `json:"evictions"`
 	HitRate   float64 `json:"hit_rate"`
+	// SkippedFast counts results not admitted to the cache because their
+	// search finished under the configured latency floor.
+	SkippedFast uint64 `json:"skipped_fast"`
 }
 
 // statzLatency is the latency section of a /statz snapshot, in milliseconds.
@@ -176,11 +182,12 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 			Samples: samples,
 		},
 		Cache: statzCache{
-			Entries:   cache.len(),
-			Hits:      hits,
-			Misses:    misses,
-			Evictions: evictions,
-			HitRate:   hitRate,
+			Entries:     cache.len(),
+			Hits:        hits,
+			Misses:      misses,
+			Evictions:   evictions,
+			HitRate:     hitRate,
+			SkippedFast: m.cacheSkippedFast.Load(),
 		},
 		Engine: eng,
 	}

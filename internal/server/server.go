@@ -87,6 +87,13 @@ type Config struct {
 	// exceeds it (default 256KiB): an entry-count bound alone would let a
 	// few huge k=1000 results pin unbounded memory.
 	CacheMaxEntryBytes int
+	// CacheMinLatency is the admission floor of the result cache: results
+	// whose engine search completed faster than this are not cached — they
+	// are cheaper to recompute than to evict real work for (default 1ms).
+	// Any negative value disables the floor and caches everything; the
+	// negative sentinel survives normalization, so filling a Config twice
+	// (WithDefaults then New) cannot silently re-enable the floor.
+	CacheMinLatency time.Duration
 	// LatencyWindow is the number of recent query latencies kept for the
 	// /statz percentiles (default 1024).
 	LatencyWindow int
@@ -134,6 +141,9 @@ func (c *Config) fill() {
 	}
 	if c.CacheMaxEntryBytes <= 0 {
 		c.CacheMaxEntryBytes = 256 << 10
+	}
+	if c.CacheMinLatency == 0 {
+		c.CacheMinLatency = time.Millisecond
 	}
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
@@ -492,7 +502,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 			return nil, answerFlags{}, err
 		}
 		defer releaseGate()
-		res, err := s.execute(ctx, tuples, opts, timeout, nil)
+		res, _, err := s.execute(ctx, tuples, opts, timeout, nil)
 		return res, answerFlags{}, err
 	}
 	if res, ok := s.cache.get(key); ok {
@@ -565,9 +575,9 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 					return nil, answerFlags{}, err
 				}
 				defer releaseGate()
-				res, err := s.execute(wait, tuples, opts, timeout, nil)
-				if err == nil && wait.Err() == nil && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
-					s.cache.put(key, res)
+				res, searched, err := s.execute(wait, tuples, opts, timeout, nil)
+				if err == nil && wait.Err() == nil {
+					s.cachePut(key, res, searched)
 				}
 				return res, answerFlags{}, err
 			}
@@ -615,6 +625,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 // result and guaranteeing the flight is finished — followers released — even
 // if the engine panics.
 func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration) (res *gqbe.Result, err error) {
+	var searched time.Duration
 	defer func() {
 		if p := recover(); p != nil {
 			// Followers get the sentinel, not the panic text: an engine
@@ -626,8 +637,8 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples []
 		// A result produced under a canceled leader context is never cached:
 		// the search may have been abandoned mid-pipeline, and a truncated
 		// answer set must not be served as the query's answer forever.
-		if err == nil && ctx.Err() == nil && approxResultBytes(res) <= s.cfg.CacheMaxEntryBytes {
-			s.cache.put(key, res)
+		if err == nil && ctx.Err() == nil {
+			s.cachePut(key, res, searched)
 		}
 		// Cache before finish: a request arriving in between then hits the
 		// cache instead of starting a redundant flight.
@@ -635,7 +646,25 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples []
 	}()
 	// Stamp the search start (post-admission) on the flight: followers use
 	// it to judge whether retrying a timed-out leader could ever succeed.
-	return s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() })
+	res, searched, err = s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() })
+	return res, err
+}
+
+// cachePut stores a successful search result unless the cache admission
+// policy skips it: results over the per-entry byte bound would pin too much
+// memory, and results computed faster than CacheMinLatency are cheaper to
+// recompute than to evict real work for (counted in cache_skipped_fast).
+func (s *Server) cachePut(key string, res *gqbe.Result, searched time.Duration) {
+	if approxResultBytes(res) > s.cfg.CacheMaxEntryBytes {
+		return
+	}
+	// A negative floor is the disabled sentinel; searched is never
+	// negative, so the comparison admits everything.
+	if searched < s.cfg.CacheMinLatency {
+		s.met.cacheSkippedFast.Add(1)
+		return
+	}
+	s.cache.put(key, res)
 }
 
 // approxResultBytes estimates a result's retained size for the cache's
@@ -660,19 +689,20 @@ const minRecordedFailure = time.Millisecond
 
 // execute runs the query under admission and its deadline, recording the
 // search time (and only it — queue wait and response writing excluded) in
-// the latency ring. Recording is gated on outcome: successes and timeouts
-// always count (timeouts are by construction the slowest queries; excluding
-// them would understate the tail), other failures count only past the
-// minRecordedFailure floor — keeping fast validation-style failures out of
-// the ring for the same reason the unknown-entity pre-check and the
-// cache-hit path are. The worker slot guards the search only: it is
-// released when execute returns, before any response bytes are written, so
-// a slow-reading client cannot pin a slot.
-func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func()) (res *gqbe.Result, err error) {
+// the latency ring and returning it so callers can apply latency-gated
+// policies (the cache admission floor). Recording is gated on outcome:
+// successes and timeouts always count (timeouts are by construction the
+// slowest queries; excluding them would understate the tail), other
+// failures count only past the minRecordedFailure floor — keeping fast
+// validation-style failures out of the ring for the same reason the
+// unknown-entity pre-check and the cache-hit path are. The worker slot
+// guards the search only: it is released when execute returns, before any
+// response bytes are written, so a slow-reading client cannot pin a slot.
+func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func()) (res *gqbe.Result, searched time.Duration, err error) {
 	// Take a worker slot before running a search. Cache hits in the caller
 	// deliberately skip admission — they cost microseconds.
 	if err := s.adm.acquire(ctx); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer s.adm.release()
 	if onAdmitted != nil {
@@ -683,17 +713,21 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	}
 	start := time.Now()
 	defer func() {
-		elapsed := time.Since(start)
-		if err == nil || errors.Is(err, context.DeadlineExceeded) || elapsed >= minRecordedFailure {
-			s.met.lat.record(elapsed)
+		searched = time.Since(start)
+		if err == nil || errors.Is(err, context.DeadlineExceeded) || searched >= minRecordedFailure {
+			s.met.lat.record(searched)
 		}
 	}()
 	qctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	// Naked returns: `searched` is assigned by the deferred ring-recording
+	// block above, which runs after these set res/err.
 	if len(tuples) == 1 {
-		return s.eng.QueryCtx(qctx, tuples[0], &opts)
+		res, err = s.eng.QueryCtx(qctx, tuples[0], &opts)
+		return
 	}
-	return s.eng.QueryMultiCtx(qctx, tuples, &opts)
+	res, err = s.eng.QueryMultiCtx(qctx, tuples, &opts)
+	return
 }
 
 // writeQueryError maps a query execution error to the API's error

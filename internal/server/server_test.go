@@ -28,6 +28,12 @@ func fig1Engine(t *testing.T) *gqbe.Engine {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
+	// The Fig. 1 test engine answers in microseconds, so the default cache
+	// admission floor (1ms) would reject every result; tests not exercising
+	// the floor itself run with it disabled.
+	if cfg.CacheMinLatency == 0 {
+		cfg.CacheMinLatency = -1
+	}
 	return New(fig1Engine(t), cfg)
 }
 

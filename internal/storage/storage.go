@@ -1,8 +1,18 @@
 // Package storage implements the vertically partitioned storage scheme of
 // §V-A: the data graph is split into one two-column (subj, obj) table per
-// distinct edge label, and each table carries two in-memory hash indexes,
-// keyed by subj and by obj respectively. Query graphs are evaluated as
-// multi-way hash joins over these tables (see internal/exec).
+// distinct edge label, and each table is indexed on both columns. Query
+// graphs are evaluated as multi-way hash joins over these tables (see
+// internal/exec).
+//
+// The indexes are CSR-style rather than hash maps: each table keeps both
+// columns as flat sorted arrays — pairs ordered by (subj, obj) plus a
+// mirror ordered by (obj, subj) — so every posting list is a contiguous run
+// of a single column and probes never hash or allocate. Tables whose edge
+// count is large relative to their node-ID range additionally carry dense
+// int32 offset arrays indexed directly by NodeID, making a probe two array
+// loads and a slice; skinny tables (most labels of a heavy-tailed
+// vocabulary) skip the offsets and bisect the sorted key column instead,
+// keeping index memory proportional to the data.
 package storage
 
 import (
@@ -18,14 +28,37 @@ type Pair struct {
 	Obj  graph.NodeID
 }
 
-// Table holds all edges of a single label, with hash indexes on both columns.
+// Dense offsets cost (maxNodeID − minNodeID + 2) int32s per direction (the
+// arrays are based at the table's smallest ID, so a label whose nodes
+// cluster anywhere in the graph stays cheap). They are built when that is
+// at most denseOffsetFactor× the pair count — giving O(1) probes — or when
+// the range is tiny in absolute terms; other tables stay at O(log E)
+// bisection with memory proportional to their rows.
+const (
+	denseOffsetFactor = 8
+	denseOffsetMin    = 1 << 10
+)
+
+// Table holds all edges of a single label, with CSR-style indexes on both
+// columns.
 type Table struct {
 	label graph.LabelID
-	pairs []Pair
-	// bySubj maps a subject node to the objects it points to under this
-	// label; byObj is the reverse. These are the two hash tables of §V-A.
-	bySubj map[graph.NodeID][]graph.NodeID
-	byObj  map[graph.NodeID][]graph.NodeID
+	pairs []Pair // sorted by (subj, obj)
+
+	// Forward index: objCol[i] is pairs[i].Obj. With dense offsets the
+	// objects of s are objCol[subjOff[s-subjBase]:subjOff[s-subjBase+1]];
+	// without, the run is found by bisecting subjKeys (the subj column of
+	// pairs).
+	objCol   []graph.NodeID
+	subjOff  []int32        // nil when the direction is sparse
+	subjBase graph.NodeID   // smallest subject; offsets are based at it
+	subjKeys []graph.NodeID // nil when the direction is dense
+
+	// Mirror index, sorted by (obj, subj).
+	subjCol []graph.NodeID
+	objOff  []int32
+	objBase graph.NodeID
+	objKeys []graph.NodeID
 }
 
 // Label returns the table's edge label.
@@ -34,37 +67,84 @@ func (t *Table) Label() graph.LabelID { return t.label }
 // Len returns the number of rows (edges) in the table.
 func (t *Table) Len() int { return len(t.pairs) }
 
-// Pairs returns all rows. The slice is owned by the table; do not modify.
+// Pairs returns all rows, sorted by (subj, obj). The slice is owned by the
+// table; do not modify.
 func (t *Table) Pairs() []Pair { return t.pairs }
 
-// Objects returns the objects o such that (s, label, o) is an edge.
-// The probe is a hash lookup; the returned slice is owned by the table.
-func (t *Table) Objects(s graph.NodeID) []graph.NodeID { return t.bySubj[s] }
+// lowerBound returns the first index of keys not below k.
+func lowerBound(keys []graph.NodeID, k graph.NodeID) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
-// Subjects returns the subjects s such that (s, label, o) is an edge.
-func (t *Table) Subjects(o graph.NodeID) []graph.NodeID { return t.byObj[o] }
+// postings returns the contiguous [lo, hi) run of node k in a column pair:
+// two array loads when off is dense, two bisections of keys otherwise.
+func postings(off []int32, base graph.NodeID, keys []graph.NodeID, k graph.NodeID) (int, int) {
+	if off != nil {
+		i := int(k) - int(base)
+		if i < 0 || i >= len(off)-1 {
+			return 0, 0
+		}
+		return int(off[i]), int(off[i+1])
+	}
+	return lowerBound(keys, k), lowerBound(keys, k+1)
+}
+
+// Objects returns the objects o such that (s, label, o) is an edge, in
+// ascending order. The returned slice is a view into the table's object
+// column and is owned by the table.
+func (t *Table) Objects(s graph.NodeID) []graph.NodeID {
+	lo, hi := postings(t.subjOff, t.subjBase, t.subjKeys, s)
+	return t.objCol[lo:hi]
+}
+
+// Subjects returns the subjects s such that (s, label, o) is an edge, in
+// ascending order.
+func (t *Table) Subjects(o graph.NodeID) []graph.NodeID {
+	lo, hi := postings(t.objOff, t.objBase, t.objKeys, o)
+	return t.subjCol[lo:hi]
+}
 
 // OutDegree returns the number of edges with this label leaving s.
-func (t *Table) OutDegree(s graph.NodeID) int { return len(t.bySubj[s]) }
+func (t *Table) OutDegree(s graph.NodeID) int {
+	lo, hi := postings(t.subjOff, t.subjBase, t.subjKeys, s)
+	return hi - lo
+}
 
 // InDegree returns the number of edges with this label entering o.
-func (t *Table) InDegree(o graph.NodeID) int { return len(t.byObj[o]) }
+func (t *Table) InDegree(o graph.NodeID) int {
+	lo, hi := postings(t.objOff, t.objBase, t.objKeys, o)
+	return hi - lo
+}
+
+// hasBinarySearchMin is the posting-list length past which Has switches from
+// a linear scan to bisection; short lists (the overwhelmingly common case)
+// stay branch-predictable and cache-resident.
+const hasBinarySearchMin = 16
 
 // Has reports whether the row (s, o) exists. It probes the smaller of the
-// two candidate posting lists.
+// two candidate posting lists; both are sorted, so long lists are bisected.
 func (t *Table) Has(s, o graph.NodeID) bool {
-	objs := t.bySubj[s]
-	subs := t.byObj[o]
-	if len(objs) <= len(subs) {
-		for _, x := range objs {
-			if x == o {
-				return true
-			}
-		}
-		return false
+	objs := t.Objects(s)
+	subs := t.Subjects(o)
+	list, want := objs, o
+	if len(subs) < len(objs) {
+		list, want = subs, s
 	}
-	for _, x := range subs {
-		if x == s {
+	if len(list) >= hasBinarySearchMin {
+		i := lowerBound(list, want)
+		return i < len(list) && list[i] == want
+	}
+	for _, x := range list {
+		if x == want {
 			return true
 		}
 	}
@@ -79,8 +159,8 @@ type Store struct {
 	numLabels int
 }
 
-// Build partitions the data graph g into per-label tables and hashes both
-// columns of every table, mirroring the paper's "the whole data graph is
+// Build partitions the data graph g into per-label tables and builds both
+// indexes of every table, mirroring the paper's "the whole data graph is
 // hashed in memory ... before any query comes in".
 func Build(g *graph.Graph) *Store {
 	s := &Store{
@@ -89,35 +169,84 @@ func Build(g *graph.Graph) *Store {
 		numLabels: g.NumLabels(),
 	}
 	for l := 0; l < g.NumLabels(); l++ {
-		s.tables[l] = &Table{
-			label:  graph.LabelID(l),
-			bySubj: make(map[graph.NodeID][]graph.NodeID),
-			byObj:  make(map[graph.NodeID][]graph.NodeID),
-		}
+		s.tables[l] = &Table{label: graph.LabelID(l)}
 	}
 	g.Edges(func(e graph.Edge) bool {
 		t := s.tables[e.Label]
 		t.pairs = append(t.pairs, Pair{Subj: e.Src, Obj: e.Dst})
-		t.bySubj[e.Src] = append(t.bySubj[e.Src], e.Dst)
-		t.byObj[e.Dst] = append(t.byObj[e.Dst], e.Src)
 		return true
 	})
-	// Sort rows and postings for deterministic join output order.
 	for _, t := range s.tables {
-		sort.Slice(t.pairs, func(i, j int) bool {
-			if t.pairs[i].Subj != t.pairs[j].Subj {
-				return t.pairs[i].Subj < t.pairs[j].Subj
-			}
-			return t.pairs[i].Obj < t.pairs[j].Obj
-		})
-		for _, m := range []map[graph.NodeID][]graph.NodeID{t.bySubj, t.byObj} {
-			for k := range m {
-				lst := m[k]
-				sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-			}
-		}
+		t.buildIndexes()
 	}
 	return s
+}
+
+// buildIndexes sorts the pair list and derives both column indexes from it.
+// Rows and postings end up in the same deterministic ascending order the
+// previous hash-index layout sorted into.
+func (t *Table) buildIndexes() {
+	if len(t.pairs) == 0 {
+		return
+	}
+	sort.Slice(t.pairs, func(i, j int) bool {
+		if t.pairs[i].Subj != t.pairs[j].Subj {
+			return t.pairs[i].Subj < t.pairs[j].Subj
+		}
+		return t.pairs[i].Obj < t.pairs[j].Obj
+	})
+	mirror := make([]Pair, len(t.pairs))
+	copy(mirror, t.pairs)
+	sort.Slice(mirror, func(i, j int) bool {
+		if mirror[i].Obj != mirror[j].Obj {
+			return mirror[i].Obj < mirror[j].Obj
+		}
+		return mirror[i].Subj < mirror[j].Subj
+	})
+	t.objCol = make([]graph.NodeID, len(t.pairs))
+	t.subjCol = make([]graph.NodeID, len(t.pairs))
+	for i, p := range t.pairs {
+		t.objCol[i] = p.Obj
+		t.subjCol[i] = mirror[i].Subj
+	}
+	minSubj, maxSubj := t.pairs[0].Subj, t.pairs[len(t.pairs)-1].Subj
+	minObj, maxObj := mirror[0].Obj, mirror[len(mirror)-1].Obj
+	if dense(int(maxSubj)-int(minSubj), len(t.pairs)) {
+		t.subjBase = minSubj
+		t.subjOff = offsets(minSubj, maxSubj, t.pairs, func(p Pair) graph.NodeID { return p.Subj })
+	} else {
+		t.subjKeys = make([]graph.NodeID, len(t.pairs))
+		for i, p := range t.pairs {
+			t.subjKeys[i] = p.Subj
+		}
+	}
+	if dense(int(maxObj)-int(minObj), len(mirror)) {
+		t.objBase = minObj
+		t.objOff = offsets(minObj, maxObj, mirror, func(p Pair) graph.NodeID { return p.Obj })
+	} else {
+		t.objKeys = make([]graph.NodeID, len(mirror))
+		for i, p := range mirror {
+			t.objKeys[i] = p.Obj
+		}
+	}
+}
+
+// dense decides whether a direction gets O(1) offsets for its ID range.
+func dense(idRange, rows int) bool {
+	return idRange+2 <= denseOffsetFactor*rows || idRange+2 <= denseOffsetMin
+}
+
+// offsets builds the base-relative dense CSR offset array over sorted rows:
+// the rows of node v occupy [off[v-base], off[v-base+1]).
+func offsets(base, maxID graph.NodeID, rows []Pair, key func(Pair) graph.NodeID) []int32 {
+	off := make([]int32, int(maxID)-int(base)+2)
+	for _, p := range rows {
+		off[key(p)-base+1]++
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	return off
 }
 
 // Table returns the table for label l; ok is false when the label has no

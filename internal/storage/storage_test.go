@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -178,5 +179,159 @@ func TestQuickIndexesConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- edge cases under the CSR layout -----------------------------------
+
+// TestUnknownLabel: a label interned without edges gets an empty (but
+// probe-safe) table; labels beyond the range get none.
+func TestUnknownLabel(t *testing.T) {
+	g := testkg.Fig1()
+	empty := g.AddLabel("never_used")
+	s := Build(g)
+	tab, ok := s.Table(empty)
+	if !ok {
+		t.Fatal("interned label has no table")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("empty label table has %d rows", tab.Len())
+	}
+	v := g.MustNode("Jerry Yang")
+	if got := tab.Objects(v); len(got) != 0 {
+		t.Errorf("Objects on empty table = %v", got)
+	}
+	if got := tab.Subjects(v); len(got) != 0 {
+		t.Errorf("Subjects on empty table = %v", got)
+	}
+	if tab.Has(v, v) || tab.OutDegree(v) != 0 || tab.InDegree(v) != 0 {
+		t.Error("empty table reports edges")
+	}
+	if s.LabelCount(empty) != 0 {
+		t.Error("LabelCount for edgeless label should be 0")
+	}
+}
+
+// TestNodeAbsentFromDirection: a node that appears only as an object (or
+// only as a subject) of a label must probe empty in the other direction —
+// including when its ID is outside the offset range of that direction.
+func TestNodeAbsentFromDirection(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "p", "b")
+	g.AddEdge("c", "p", "d")
+	g.AddEdge("z_only_object", "q", "a") // gives z an ID beyond p's subjects
+	p, _ := g.Label("p")
+	tab := Build(g).MustTable(p)
+	b := g.MustNode("b")
+	z := g.MustNode("z_only_object")
+	if got := tab.Objects(b); len(got) != 0 {
+		t.Errorf("Objects(object-only node) = %v, want empty", got)
+	}
+	if got := tab.Subjects(g.MustNode("a")); len(got) != 0 {
+		t.Errorf("Subjects(subject-only node) = %v, want empty", got)
+	}
+	if tab.OutDegree(z) != 0 || tab.InDegree(z) != 0 {
+		t.Error("node outside the table's ID range reports edges")
+	}
+	if tab.Has(z, b) || tab.Has(b, z) {
+		t.Error("Has invented an edge for an out-of-range probe")
+	}
+}
+
+// TestHighestNodeIDBoundary: probes at the very last node ID (the offset
+// arrays' upper boundary) and one past it are exact.
+func TestHighestNodeIDBoundary(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "p", "b")
+	g.AddEdge("b", "p", "last") // "last" gets the highest NodeID
+	p, _ := g.Label("p")
+	tab := Build(g).MustTable(p)
+	last := graph.NodeID(g.NumNodes() - 1)
+	if g.Name(last) != "last" {
+		t.Fatalf("expected last to hold the highest ID, got %q", g.Name(last))
+	}
+	if got := tab.Subjects(last); len(got) != 1 || got[0] != g.MustNode("b") {
+		t.Errorf("Subjects(highest ID) = %v, want [b]", got)
+	}
+	if got := tab.Objects(last); len(got) != 0 {
+		t.Errorf("Objects(highest ID) = %v, want empty", got)
+	}
+	if !tab.Has(g.MustNode("b"), last) {
+		t.Error("Has missed the edge into the highest node ID")
+	}
+	// One past the end (an ID the graph never minted) must not panic.
+	if tab.OutDegree(last+1) != 0 || tab.InDegree(last+1) != 0 || len(tab.Objects(last+1)) != 0 {
+		t.Error("probe past the highest node ID found edges")
+	}
+	if tab.Has(last+1, last) || tab.Has(graph.NodeID(-5), last) {
+		t.Error("out-of-range Has returned true")
+	}
+}
+
+// TestHasBothProbeDirections: Has picks the smaller posting list, so drive
+// it through both choices — a hub subject (long Objects, probe via
+// Subjects) and a hub object (long Subjects, probe via Objects) — plus the
+// bisection path for lists past the linear-scan cutoff.
+func TestHasBothProbeDirections(t *testing.T) {
+	g := graph.New()
+	// hubS -> o0..o39 (long Objects list), s0..s39 -> hubO (long Subjects).
+	for i := 0; i < 40; i++ {
+		g.AddEdge("hubS", "p", fmt.Sprintf("o%d", i))
+		g.AddEdge(fmt.Sprintf("s%d", i), "p", "hubO")
+	}
+	p, _ := g.Label("p")
+	tab := Build(g).MustTable(p)
+	hubS, hubO := g.MustNode("hubS"), g.MustNode("hubO")
+	for i := 0; i < 40; i++ {
+		if !tab.Has(hubS, g.MustNode(fmt.Sprintf("o%d", i))) {
+			t.Fatalf("Has(hubS, o%d) = false", i)
+		}
+		if !tab.Has(g.MustNode(fmt.Sprintf("s%d", i)), hubO) {
+			t.Fatalf("Has(s%d, hubO) = false", i)
+		}
+	}
+	if tab.Has(hubS, g.MustNode("s3")) || tab.Has(g.MustNode("o7"), hubO) {
+		t.Error("Has invented a reverse edge")
+	}
+	if tab.OutDegree(hubS) != 40 || tab.InDegree(hubO) != 40 {
+		t.Errorf("hub degrees = %d/%d, want 40/40", tab.OutDegree(hubS), tab.InDegree(hubO))
+	}
+}
+
+// TestSparseAndDenseAgree: the dense-offset and bisection probe paths must
+// be observationally identical; force both by varying the ID-range shape
+// and cross-check every probe against a map oracle.
+func TestSparseAndDenseAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := graph.New()
+	// Scatter: few edges over a wide ID range (sparse direction), plus a
+	// clustered run (dense direction thanks to base-relative offsets).
+	for i := 0; i < 2000; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 30; i++ {
+		g.AddEdgeIDs(graph.NodeID(r.Intn(2000)), g.AddLabel("scatter"), graph.NodeID(r.Intn(2000)))
+	}
+	for i := 0; i < 64; i++ {
+		g.AddEdgeIDs(graph.NodeID(1500+r.Intn(64)), g.AddLabel("cluster"), graph.NodeID(1500+r.Intn(64)))
+	}
+	s := Build(g)
+	for _, name := range []string{"scatter", "cluster"} {
+		l, _ := g.Label(name)
+		tab := s.MustTable(l)
+		oracleOut := make(map[graph.NodeID][]graph.NodeID)
+		oracleIn := make(map[graph.NodeID][]graph.NodeID)
+		for _, p := range tab.Pairs() {
+			oracleOut[p.Subj] = append(oracleOut[p.Subj], p.Obj)
+			oracleIn[p.Obj] = append(oracleIn[p.Obj], p.Subj)
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if len(tab.Objects(v)) != len(oracleOut[v]) {
+				t.Fatalf("%s: Objects(%d) = %v, oracle %v", name, v, tab.Objects(v), oracleOut[v])
+			}
+			if len(tab.Subjects(v)) != len(oracleIn[v]) {
+				t.Fatalf("%s: Subjects(%d) = %v, oracle %v", name, v, tab.Subjects(v), oracleIn[v])
+			}
+		}
 	}
 }

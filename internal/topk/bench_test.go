@@ -1,0 +1,78 @@
+package topk
+
+import (
+	"sync"
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/kgsynth"
+	"gqbe/internal/lattice"
+	"gqbe/internal/mqg"
+	"gqbe/internal/neighborhood"
+	"gqbe/internal/stats"
+	"gqbe/internal/storage"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSt    *storage.Store
+	benchLats  map[string]*lattice.Lattice
+	benchTups  map[string][]graph.NodeID
+	benchQuery = []string{"F1", "F18"}
+)
+
+// benchFixture runs discovery for the benchmark workload queries over the
+// kgsynth Freebase-like graph (seed 42) once per process; Search itself is
+// what the benchmarks measure.
+func benchFixture(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
+		st := storage.Build(ds.Graph)
+		est := stats.New(st)
+		benchSt = st
+		benchLats = make(map[string]*lattice.Lattice)
+		benchTups = make(map[string][]graph.NodeID)
+		for _, id := range benchQuery {
+			tuple, err := ds.Tuple(ds.MustQuery(id).QueryTuple())
+			if err != nil {
+				panic(err)
+			}
+			nres, err := neighborhood.Extract(ds.Graph, tuple, 2)
+			if err != nil {
+				panic(err)
+			}
+			m, err := mqg.Discover(est, nres.Reduced, tuple, 15)
+			if err != nil {
+				panic(err)
+			}
+			lat, err := lattice.New(m)
+			if err != nil {
+				panic(err)
+			}
+			benchLats[id] = lat
+			benchTups[id] = tuple
+		}
+	})
+}
+
+// benchSearch is the end-to-end search benchmark body: one full best-first
+// lattice search (Alg. 2 + Theorem 4) for a workload query, per iteration.
+func benchSearch(b *testing.B, id string, k int) {
+	benchFixture(b)
+	lat, tuple := benchLats[id], benchTups[id]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Search(benchSt, lat, [][]graph.NodeID{tuple}, Options{K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkSearchF1(b *testing.B)  { benchSearch(b, "F1", 25) }
+func BenchmarkSearchF18(b *testing.B) { benchSearch(b, "F18", 25) }

@@ -106,7 +106,9 @@ type Result struct {
 // inserts, content scoring) is comparable work to the join itself.
 const cancelCheckInterval = 4096
 
-// tupleKey builds a map key for an answer tuple.
+// tupleKey renders an answer tuple as a decimal string. It is no longer the
+// hot-loop map key (see tuplemap.go) — only the deterministic tie-break
+// order of rank and the oracle tests still use it.
 func tupleKey(t []graph.NodeID) string {
 	var b strings.Builder
 	for i, v := range t {
@@ -142,10 +144,6 @@ func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, 
 	opts.Fill()
 	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows), exec.WithContext(ctx))
 	sc := scoring.New(lat, ev)
-	excluded := make(map[string]bool, len(exclude))
-	for _, t := range exclude {
-		excluded[tupleKey(t)] = true
-	}
 
 	s := &searcher{
 		ctx:      ctx,
@@ -156,8 +154,8 @@ func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, 
 		upper:    []ufNode{{set: lat.Full(), sscore: lat.SScore(lat.Full())}},
 		inLF:     make(map[lattice.EdgeSet]bool),
 		done:     make(map[lattice.EdgeSet]bool),
-		tuples:   make(map[string]*candidate),
-		excluded: excluded,
+		tuples:   newTupleMap(),
+		excluded: newTupleSet(exclude),
 	}
 	for _, q := range lat.MinimalTrees() {
 		s.pushLF(q)
@@ -223,8 +221,11 @@ type searcher struct {
 	upper []ufNode                 // upper frontier: maximal unpruned nodes
 	epoch int                      // bumped whenever upper changes
 
-	tuples   map[string]*candidate
-	excluded map[string]bool
+	tuples   *tupleMap
+	excluded *tupleSet
+	// tupleBuf is the scratch buffer row tuples are projected into; reusing
+	// it keeps the absorb/exclusion loops allocation-free.
+	tupleBuf []graph.NodeID
 
 	// kth-best cache for the Theorem-4 test.
 	kthDirty bool
@@ -306,14 +307,14 @@ func (s *searcher) kthBestSScore() (float64, bool) {
 		return s.kthVal, s.kthHave
 	}
 	s.kthDirty = false
-	if len(s.tuples) < s.opts.KPrime {
+	if s.tuples.len() < s.opts.KPrime {
 		s.kthVal, s.kthHave = 0, false
 		return 0, false
 	}
-	scores := make([]float64, 0, len(s.tuples))
-	for _, c := range s.tuples {
+	scores := make([]float64, 0, s.tuples.len())
+	s.tuples.each(func(c *candidate) {
 		scores = append(scores, c.bestS)
-	}
+	})
 	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
 	s.kthVal, s.kthHave = scores[s.opts.KPrime-1], true
 	return s.kthVal, true
@@ -361,7 +362,7 @@ func (s *searcher) run() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("topk: search canceled: %w", err)
 		}
-		if len(rows) == 0 || empty {
+		if rows.Len() == 0 || empty {
 			// Null node (an answer set holding only the query tuple itself
 			// prunes the same way: every ancestor answer restricts to a
 			// child answer with the same projection).
@@ -379,21 +380,22 @@ func (s *searcher) run() (*Result, error) {
 		}
 	}
 	res.NullNodes = s.nullCount
-	res.TuplesSeen = len(s.tuples)
+	res.TuplesSeen = s.tuples.len()
 	res.Answers = s.rank()
 	return res, nil
 }
 
 // onlyExcluded reports whether every row projects to an excluded (query)
 // tuple, checking ctx at batch granularity (rows can number in the millions).
-func (s *searcher) onlyExcluded(rows []exec.Row) (bool, error) {
-	for n, r := range rows {
+func (s *searcher) onlyExcluded(rows *exec.Rows) (bool, error) {
+	for n := 0; n < rows.Len(); n++ {
 		if n%cancelCheckInterval == 0 {
 			if err := s.ctx.Err(); err != nil {
 				return false, err
 			}
 		}
-		if !s.excluded[tupleKey(s.ev.TupleOf(r))] {
+		s.tupleBuf = s.ev.AppendTuple(s.tupleBuf[:0], rows.Row(n))
+		if !s.excluded.has(s.tupleBuf) {
 			return false, nil
 		}
 	}
@@ -404,24 +406,24 @@ func (s *searcher) onlyExcluded(rows []exec.Row) (bool, error) {
 // Under the simplified stage-1 scoring every row of q scores s_score(q);
 // the full score (with content credit) is tracked alongside for stage 2.
 // Like the joins, it checks ctx at batch granularity.
-func (s *searcher) absorb(q lattice.EdgeSet, rows []exec.Row) error {
+func (s *searcher) absorb(q lattice.EdgeSet, rows *exec.Rows) error {
 	sScore := s.lat.SScore(q)
-	for n, row := range rows {
+	for n := 0; n < rows.Len(); n++ {
 		if n%cancelCheckInterval == 0 {
 			if err := s.ctx.Err(); err != nil {
 				return err
 			}
 		}
-		tuple := s.ev.TupleOf(row)
-		key := tupleKey(tuple)
-		if s.excluded[key] {
+		row := rows.Row(n)
+		s.tupleBuf = s.ev.AppendTuple(s.tupleBuf[:0], row)
+		if s.excluded.has(s.tupleBuf) {
 			continue
 		}
 		full := sScore + s.sc.CScore(q, row)
-		c, ok := s.tuples[key]
-		if !ok {
-			c = &candidate{tuple: append([]graph.NodeID(nil), tuple...)}
-			s.tuples[key] = c
+		c := s.tuples.lookup(s.tupleBuf)
+		if c == nil {
+			c = &candidate{tuple: append([]graph.NodeID(nil), s.tupleBuf...)}
+			s.tuples.insert(c)
 		}
 		if sScore > c.bestS || (sScore == c.bestS && c.bestGraph == 0) {
 			c.bestS = sScore
@@ -503,38 +505,44 @@ func (s *searcher) recordNull(qbest lattice.EdgeSet) {
 // rank applies the two-stage ranking of §V-B: order tuples by best structure
 // score, keep the top k′, re-rank those by the full score, return the top k.
 func (s *searcher) rank() []Answer {
-	all := make([]*candidate, 0, len(s.tuples))
-	for _, c := range s.tuples {
-		all = append(all, c)
+	// The deterministic tie-break key is rendered once per candidate, not
+	// once per comparison: large answer sets tie on both scores constantly,
+	// and key building inside the comparators dominated the search's
+	// allocation profile.
+	type ranked struct {
+		c   *candidate
+		key string
 	}
+	all := make([]ranked, 0, s.tuples.len())
+	s.tuples.each(func(c *candidate) { all = append(all, ranked{c: c, key: tupleKey(c.tuple)}) })
 	// Stage-1 order is by structure score; ties at the k′ boundary are
 	// broken by the full score so that, among structurally identical
 	// candidates, the ones the stage-2 re-rank would prefer survive the
 	// cut (large answer sets routinely tie on s_score).
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].bestS != all[j].bestS {
-			return all[i].bestS > all[j].bestS
+		if all[i].c.bestS != all[j].c.bestS {
+			return all[i].c.bestS > all[j].c.bestS
 		}
-		if all[i].bestFull != all[j].bestFull {
-			return all[i].bestFull > all[j].bestFull
+		if all[i].c.bestFull != all[j].c.bestFull {
+			return all[i].c.bestFull > all[j].c.bestFull
 		}
-		return tupleKey(all[i].tuple) < tupleKey(all[j].tuple)
+		return all[i].key < all[j].key
 	})
 	if len(all) > s.opts.KPrime {
 		all = all[:s.opts.KPrime]
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].bestFull != all[j].bestFull {
-			return all[i].bestFull > all[j].bestFull
+		if all[i].c.bestFull != all[j].c.bestFull {
+			return all[i].c.bestFull > all[j].c.bestFull
 		}
-		return tupleKey(all[i].tuple) < tupleKey(all[j].tuple)
+		return all[i].key < all[j].key
 	})
 	if len(all) > s.opts.K {
 		all = all[:s.opts.K]
 	}
 	answers := make([]Answer, len(all))
-	for i, c := range all {
-		answers[i] = Answer{Tuple: c.tuple, Score: c.bestFull, SScore: c.bestS, BestGraph: c.bestGraph}
+	for i, r := range all {
+		answers[i] = Answer{Tuple: r.c.tuple, Score: r.c.bestFull, SScore: r.c.bestS, BestGraph: r.c.bestGraph}
 	}
 	return answers
 }

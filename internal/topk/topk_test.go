@@ -139,8 +139,8 @@ func oracle(t *testing.T, store *storage.Store, lat *lattice.Lattice, exclude ma
 			t.Fatalf("oracle evaluate: %v", err)
 		}
 		s := lat.SScore(q)
-		for _, row := range rows {
-			key := tupleKey(ev.TupleOf(row))
+		for i := 0; i < rows.Len(); i++ {
+			key := tupleKey(ev.TupleOf(rows.Row(i)))
 			if exclude[key] {
 				continue
 			}

@@ -1,0 +1,96 @@
+package topk
+
+import (
+	"slices"
+
+	"gqbe/internal/graph"
+)
+
+// The search absorbs every row of every evaluated lattice node, so tuple
+// identity checks are the hottest non-join loop in the engine. Building a
+// decimal string key per row ("12,407,33") costs an allocation and a format
+// call each time; instead tuples hash FNV-1a style over their raw int32
+// words, and the buckets hold the colliding entries for an exact
+// element-wise compare — collision-safe without ever materializing a key.
+
+// tupleHash folds a tuple's raw node IDs FNV-1a style into a 64-bit hash.
+func tupleHash(t []graph.NodeID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// tupleEq reports element-wise tuple equality.
+func tupleEq(a, b []graph.NodeID) bool { return slices.Equal(a, b) }
+
+// tupleMap indexes candidates by answer tuple.
+type tupleMap struct {
+	buckets map[uint64][]*candidate
+	n       int
+}
+
+func newTupleMap() *tupleMap {
+	return &tupleMap{buckets: make(map[uint64][]*candidate)}
+}
+
+// lookup returns the candidate for t, or nil. t may be a transient scratch
+// buffer; lookup never retains it.
+func (m *tupleMap) lookup(t []graph.NodeID) *candidate {
+	for _, c := range m.buckets[tupleHash(t)] {
+		if tupleEq(c.tuple, t) {
+			return c
+		}
+	}
+	return nil
+}
+
+// insert adds c under its tuple; the caller guarantees the tuple is absent
+// (and that c.tuple is an owned copy, not a scratch buffer).
+func (m *tupleMap) insert(c *candidate) {
+	h := tupleHash(c.tuple)
+	m.buckets[h] = append(m.buckets[h], c)
+	m.n++
+}
+
+// len returns the number of distinct tuples.
+func (m *tupleMap) len() int { return m.n }
+
+// each calls fn for every candidate, in unspecified order.
+func (m *tupleMap) each(fn func(*candidate)) {
+	for _, bucket := range m.buckets {
+		for _, c := range bucket {
+			fn(c)
+		}
+	}
+}
+
+// tupleSet is a set of tuples under the same hashing scheme; it holds the
+// excluded (query) tuples.
+type tupleSet struct {
+	buckets map[uint64][][]graph.NodeID
+}
+
+func newTupleSet(tuples [][]graph.NodeID) *tupleSet {
+	s := &tupleSet{buckets: make(map[uint64][][]graph.NodeID, len(tuples))}
+	for _, t := range tuples {
+		if !s.has(t) {
+			cp := append([]graph.NodeID(nil), t...)
+			h := tupleHash(cp)
+			s.buckets[h] = append(s.buckets[h], cp)
+		}
+	}
+	return s
+}
+
+// has reports membership; t may be a transient scratch buffer.
+func (s *tupleSet) has(t []graph.NodeID) bool {
+	for _, x := range s.buckets[tupleHash(t)] {
+		if tupleEq(x, t) {
+			return true
+		}
+	}
+	return false
+}
