@@ -1,0 +1,178 @@
+// Command benchreport renders a benchstat-style regression table comparing
+// a `go test -bench` run against the checked-in baseline shapes in
+// BENCH_engine.json. CI runs it on every PR (non-blocking, output appended
+// to the job summary) so perf drift is visible without gating merges on
+// noisy 1-iteration numbers.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./internal/... | benchreport -baseline BENCH_engine.json
+//
+// The baseline JSON is the repo's bench-trajectory format: a "results"
+// object of sections, each mapping benchmark names to either a plain
+// {"ns_op": ...} record or a {"before": ..., "after": ...} pair (the
+// "after" shape is the baseline). The tool always exits 0: it is a report,
+// not a gate — regressions are flagged in the table with ⚠.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	Name string // e.g. "StoreBuildSharded/shards=8" (Benchmark prefix and -P suffix stripped)
+	NsOp float64
+}
+
+// benchRe matches "BenchmarkName[-P] <iters> <ns> ns/op ...".
+var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) ([]benchLine, error) {
+	var out []benchLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, benchLine{Name: canonicalName(m[1]), NsOp: ns})
+	}
+	return out, sc.Err()
+}
+
+// canonicalName strips the Benchmark prefix and the trailing -P GOMAXPROCS
+// suffix (absent when GOMAXPROCS=1) from a bench name, leaving sub-bench
+// paths intact.
+func canonicalName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	// The -P suffix attaches to the last path element only.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// loadBaseline flattens the baseline JSON's results sections into
+// name → ns/op. Records with before/after pairs contribute their "after".
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Results map[string]map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	type record struct {
+		NsOp  *float64 `json:"ns_op"`
+		After *struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	}
+	out := make(map[string]float64)
+	for _, section := range doc.Results {
+		for name, rawRec := range section {
+			var rec record
+			if err := json.Unmarshal(rawRec, &rec); err != nil {
+				continue // prose fields like notes live beside records
+			}
+			switch {
+			case rec.After != nil:
+				out[name] = rec.After.NsOp
+			case rec.NsOp != nil:
+				out[name] = *rec.NsOp
+			}
+		}
+	}
+	return out, nil
+}
+
+// report renders the markdown comparison table and returns the regression
+// count (current > threshold × baseline).
+func report(w io.Writer, lines []benchLine, baseline map[string]float64, threshold float64) int {
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Name < lines[j].Name })
+	fmt.Fprintln(w, "### Bench regression report")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Threshold ×%.2f against the checked-in baseline; 1-iteration numbers are noisy — treat ⚠ rows as pointers, not verdicts.\n", threshold)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | Δ | |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	regressions := 0
+	for _, l := range lines {
+		base, ok := baseline[l.Name]
+		if !ok || base <= 0 {
+			fmt.Fprintf(w, "| %s | — | %.0f | — | new |\n", l.Name, l.NsOp)
+			continue
+		}
+		delta := (l.NsOp - base) / base * 100
+		flag := ""
+		if l.NsOp > base*threshold {
+			flag = "⚠ regression"
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%% | %s |\n", l.Name, base, l.NsOp, delta, flag)
+	}
+	fmt.Fprintln(w)
+	if regressions > 0 {
+		fmt.Fprintf(w, "**%d benchmark(s) above threshold.**\n", regressions)
+	} else {
+		fmt.Fprintln(w, "No benchmarks above threshold.")
+	}
+	return regressions
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_engine.json", "baseline JSON (repo bench-trajectory format)")
+		inputPath    = flag.String("input", "-", "bench output file ('-' = stdin)")
+		threshold    = flag.Float64("threshold", 1.30, "flag current > threshold × baseline")
+	)
+	flag.Parse()
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	lines, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(2)
+	}
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines in input")
+		os.Exit(2)
+	}
+	// Report only: regressions never fail the run (1x numbers are noisy).
+	report(os.Stdout, lines, baseline, *threshold)
+}

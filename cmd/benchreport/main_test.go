@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: gqbe/internal/storage
+BenchmarkStoreBuild-8             	     442	   2567583 ns/op	 1564225 B/op	    5278 allocs/op
+BenchmarkStoreBuildSharded/shards=8-8 	     100	   1200000 ns/op
+BenchmarkStoreProbe             	    1604	    662160 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshotLoad            	     500	   1000000 ns/op	 123 MB/s
+PASS
+ok  	gqbe/internal/storage	5.094s
+`
+
+const sampleBaseline = `{
+  "results": {
+    "storage": {
+      "StoreBuild": {
+        "before": { "ns_op": 5668963 },
+        "after": { "ns_op": 2567583 }
+      },
+      "StoreProbe": { "after": { "ns_op": 400000 } }
+    },
+    "startup": {
+      "SnapshotLoad": { "ns_op": 900000 },
+      "notes": "prose beside records must not break parsing"
+    }
+  }
+}`
+
+func TestParseBench(t *testing.T) {
+	lines, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"StoreBuild":                 2567583,
+		"StoreBuildSharded/shards=8": 1200000,
+		"StoreProbe":                 662160, // no -P suffix (GOMAXPROCS=1)
+		"SnapshotLoad":               1000000,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("parsed %d lines, want %d: %+v", len(lines), len(want), lines)
+	}
+	for _, l := range lines {
+		if want[l.Name] != l.NsOp {
+			t.Errorf("%s = %v, want %v", l.Name, l.NsOp, want[l.Name])
+		}
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkStoreBuild-8":              "StoreBuild",
+		"BenchmarkStoreBuild":                "StoreBuild",
+		"BenchmarkB/shards=8-16":             "B/shards=8",
+		"BenchmarkSearchF1-1":                "SearchF1",
+		"BenchmarkTableII_CaseStudy-8":       "TableII_CaseStudy",
+		"BenchmarkServerLoad/poisson-8":      "ServerLoad/poisson",
+		"BenchmarkEvaluateMinimalTree-profX": "EvaluateMinimalTree-profX", // non-numeric suffix kept
+	} {
+		if got := canonicalName(in); got != want {
+			t.Errorf("canonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadBaselineAndReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline["StoreBuild"] != 2567583 {
+		t.Errorf("StoreBuild baseline = %v (want after-shape 2567583)", baseline["StoreBuild"])
+	}
+	if baseline["SnapshotLoad"] != 900000 {
+		t.Errorf("SnapshotLoad baseline = %v", baseline["SnapshotLoad"])
+	}
+	lines, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	regressions := report(&buf, lines, baseline, 1.30)
+	out := buf.String()
+	// StoreProbe is 662160 vs 400000 baseline (+65%) → flagged; SnapshotLoad
+	// is +11% → not flagged; StoreBuildSharded has no baseline → "new".
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1\n%s", regressions, out)
+	}
+	if !strings.Contains(out, "⚠ regression") {
+		t.Errorf("report misses the regression flag:\n%s", out)
+	}
+	if !strings.Contains(out, "| StoreBuildSharded/shards=8 | — | 1200000 | — | new |") {
+		t.Errorf("report misses the new-bench row:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.0%") {
+		t.Errorf("report misses the unchanged StoreBuild row:\n%s", out)
+	}
+}
+
+func TestRealBaselineParses(t *testing.T) {
+	// The tool must understand the repo's actual BENCH_engine.json.
+	baseline, err := loadBaseline("../../BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("no baselines parsed from BENCH_engine.json")
+	}
+	for _, name := range []string{"StoreBuild", "SearchF1", "SnapshotLoad"} {
+		if _, ok := baseline[name]; !ok {
+			t.Errorf("BENCH_engine.json missing baseline for %s", name)
+		}
+	}
+}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	gqbed -graph kg.tsv [-addr :8080] [-max-concurrent 8] [-cache-entries 1024]
+//	      [-build-shards 0] [-snapshot kg.snap] [-snapshot-write]
+//
+// Startup: with -snapshot pointing at an existing file, the daemon restores
+// the preprocessed engine from the binary snapshot (large sequential reads,
+// no triple parsing or index construction); otherwise it parses -graph and
+// builds the store across -build-shards workers (0 = GOMAXPROCS), and with
+// -snapshot-write also saves the result to -snapshot for the next restart.
 //
 // Endpoints:
 //
@@ -53,23 +60,35 @@ func main() {
 		batchItems    = flag.Int("max-batch-items", 64, "max queries per /v1/query:batch request")
 		batchConc     = flag.Int("batch-concurrency", 4, "max engine searches one batch runs at once (capped at -max-concurrent)")
 		pprofAddr     = flag.String("pprof-addr", "", "optional address (e.g. 127.0.0.1:6060) serving net/http/pprof on a separate listener; empty disables")
+
+		buildShards   = flag.Int("build-shards", 0, "concurrent workers for the offline store build (0 = GOMAXPROCS, 1 = sequential)")
+		snapshotPath  = flag.String("snapshot", "", "binary engine snapshot path: loaded instead of -graph when it exists")
+		snapshotWrite = flag.Bool("snapshot-write", false, "after building from -graph, write the engine snapshot to -snapshot")
 	)
 	flag.Parse()
 
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "gqbed: -graph is required")
+	if *graphPath == "" && *snapshotPath == "" {
+		fmt.Fprintln(os.Stderr, "gqbed: -graph (or -snapshot) is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *snapshotWrite && *snapshotPath == "" {
+		fmt.Fprintln(os.Stderr, "gqbed: -snapshot-write needs -snapshot")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	log.Printf("gqbed: loading %s", *graphPath)
-	start := time.Now()
-	eng, err := gqbe.LoadFile(*graphPath)
+	eng, err := loadEngine(*graphPath, *snapshotPath, *buildShards, *snapshotWrite)
 	if err != nil {
 		log.Fatalf("gqbed: %v", err)
 	}
-	log.Printf("gqbed: %d entities, %d facts, %d predicates preprocessed in %v",
-		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), time.Since(start).Round(time.Millisecond))
+	info := eng.BuildInfo()
+	how := fmt.Sprintf("built (%d shards)", info.Shards)
+	if info.FromSnapshot {
+		how = "snapshot-loaded"
+	}
+	log.Printf("gqbed: %d entities, %d facts, %d predicates %s in %v",
+		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), how, info.BuildTime.Round(time.Millisecond))
 
 	cfg := server.Config{
 		MaxConcurrent:       *maxConcurrent,
@@ -143,4 +162,47 @@ func main() {
 		log.Printf("gqbed: shutdown: %v", err)
 	}
 	log.Printf("gqbed: bye")
+}
+
+// loadEngine resolves the startup path: an existing snapshot wins; otherwise
+// the graph is parsed and the store built across buildShards workers, with
+// the result optionally snapshotted for the next restart. A corrupt or
+// version-skewed snapshot falls back to the graph build (and, with
+// -snapshot-write, replaces the bad file) instead of refusing to start.
+func loadEngine(graphPath, snapshotPath string, buildShards int, snapshotWrite bool) (*gqbe.Engine, error) {
+	if snapshotPath != "" {
+		if _, err := os.Stat(snapshotPath); err == nil {
+			log.Printf("gqbed: loading snapshot %s", snapshotPath)
+			eng, err := gqbe.LoadSnapshotFile(snapshotPath)
+			if err == nil {
+				return eng, nil
+			}
+			if graphPath == "" {
+				return nil, err
+			}
+			log.Printf("gqbed: snapshot unusable (%v); rebuilding from %s", err, graphPath)
+		} else if graphPath == "" {
+			return nil, fmt.Errorf("snapshot %s: %w", snapshotPath, err)
+		} else if !os.IsNotExist(err) {
+			// A present-but-unstattable snapshot (permissions, I/O error)
+			// must not silently turn every restart into a slow rebuild.
+			log.Printf("gqbed: snapshot %s unavailable (%v); rebuilding from %s", snapshotPath, err, graphPath)
+		}
+	}
+	log.Printf("gqbed: loading %s", graphPath)
+	eng, err := gqbe.LoadFileSharded(graphPath, buildShards)
+	if err != nil {
+		return nil, err
+	}
+	if snapshotWrite {
+		start := time.Now()
+		if err := eng.WriteSnapshotFile(snapshotPath); err != nil {
+			// The engine is healthy; a failed snapshot write must not keep
+			// the daemon down.
+			log.Printf("gqbed: snapshot write failed: %v", err)
+		} else {
+			log.Printf("gqbed: snapshot written to %s in %v", snapshotPath, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return eng, nil
 }

@@ -41,7 +41,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kggen: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
-	if err := triples.WriteFile(*out, ds.Graph); err != nil {
+	// Stream the triples line by line: the sorted Write materializes every
+	// rendered line before emitting, which OOMs on multi-GB -scale graphs.
+	if err := triples.WriteStreamFile(*out, ds.Graph); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

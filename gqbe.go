@@ -143,20 +143,93 @@ type Engine struct {
 // (subject\tpredicate\tobject per line, '#' comments allowed) and
 // preprocesses it for querying.
 func Load(r io.Reader) (*Engine, error) {
+	start := time.Now()
 	g, err := triples.LoadGraph(r)
 	if err != nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
-	return fromGraph(g)
+	return fromGraphTimed(g, 1, start)
 }
 
 // LoadFile is Load over a file path.
 func LoadFile(path string) (*Engine, error) {
+	return LoadFileSharded(path, 1)
+}
+
+// LoadFileSharded is LoadFile with the offline store construction spread
+// across `shards` concurrent workers (0 or negative selects GOMAXPROCS, 1
+// builds sequentially). The resulting engine is bit-identical to LoadFile's
+// regardless of the shard count; only the build time changes.
+func LoadFileSharded(path string, shards int) (*Engine, error) {
+	if shards <= 0 {
+		shards = -1 // core.BuildOptions: negative selects GOMAXPROCS
+	}
+	start := time.Now()
 	g, err := triples.LoadGraphFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
-	return fromGraph(g)
+	return fromGraphTimed(g, shards, start)
+}
+
+// LoadSnapshotFile restores a preprocessed engine from a binary snapshot
+// written by WriteSnapshotFile, skipping triple parsing and index
+// construction entirely. Corrupt or incompatible snapshots fail with a
+// typed error (never a panic); callers typically fall back to LoadFile.
+func LoadSnapshotFile(path string) (*Engine, error) {
+	eng, err := core.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// WriteSnapshotFile serializes the engine's preprocessed state (graph and
+// indexed store) to path as a versioned, checksummed binary snapshot,
+// written atomically (temp file + rename). Regenerate the snapshot whenever
+// the source triples change; the daemon's -snapshot-write flag automates
+// this.
+func (e *Engine) WriteSnapshotFile(path string) error {
+	if err := e.eng.WriteSnapshotFile(path); err != nil {
+		return fmt.Errorf("gqbe: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot is WriteSnapshotFile over an io.Writer.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	if err := e.eng.WriteSnapshot(w); err != nil {
+		return fmt.Errorf("gqbe: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot is LoadSnapshotFile over an io.Reader.
+func LoadSnapshot(r io.Reader) (*Engine, error) {
+	eng, err := core.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// BuildInfo reports how an engine's offline preprocessing ran.
+type BuildInfo struct {
+	// BuildTime is the wall time of preprocessing (for snapshot engines,
+	// the snapshot load).
+	BuildTime time.Duration
+	// Shards is the worker count the store was built with (1 for
+	// sequential builds and snapshot loads).
+	Shards int
+	// FromSnapshot reports whether the engine was restored from a binary
+	// snapshot rather than built from triples.
+	FromSnapshot bool
+}
+
+// BuildInfo reports how this engine's offline preprocessing ran.
+func (e *Engine) BuildInfo() BuildInfo {
+	info := e.eng.Info()
+	return BuildInfo{BuildTime: info.Duration, Shards: info.Shards, FromSnapshot: info.FromSnapshot}
 }
 
 // Builder assembles a knowledge graph triple by triple, for programmatic
@@ -186,15 +259,29 @@ func (b *Builder) Build() (*Engine, error) {
 		return nil, errors.New("gqbe: Builder already built")
 	}
 	b.done = true
+	start := time.Now()
 	b.g.SortAdjacency()
-	return fromGraph(b.g)
+	return fromGraphTimed(b.g, 1, start)
 }
 
-func fromGraph(g *graph.Graph) (*Engine, error) {
+func fromGraph(g *graph.Graph, shards int) (*Engine, error) {
 	if g.NumEdges() == 0 {
 		return nil, errors.New("gqbe: empty knowledge graph")
 	}
-	return &Engine{eng: core.NewEngine(g)}, nil
+	return &Engine{eng: core.NewEngineOpts(g, core.BuildOptions{Shards: shards})}, nil
+}
+
+// fromGraphTimed is fromGraph with the recorded build time widened to start
+// at `start` — the loaders pass their pre-parse timestamp so BuildTime
+// covers parse + intern + sort + build, staying comparable with snapshot
+// loads (which time everything they do).
+func fromGraphTimed(g *graph.Graph, shards int, start time.Time) (*Engine, error) {
+	e, err := fromGraph(g, shards)
+	if err != nil {
+		return nil, err
+	}
+	e.eng.SetBuildDuration(time.Since(start))
+	return e, nil
 }
 
 // NumEntities returns the number of entity nodes in the graph.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"gqbe/internal/kgsynth"
+	"gqbe/internal/triples"
+)
+
+// Startup-path benchmarks: BENCH_engine.json records ParseBuild (the cold
+// TSV parse + sequential store build a bare daemon start pays) against
+// SnapshotLoad (the binary snapshot restore path) and the sharded builds in
+// internal/storage. The fixture is the repo's standard kgsynth Freebase
+// graph, rendered once to an in-memory TSV and snapshot so every iteration
+// measures pure load work.
+var (
+	startupOnce sync.Once
+	startupTSV  []byte
+	startupSnap []byte
+	startupEng  *Engine
+)
+
+func startupFixture(b *testing.B) ([]byte, []byte) {
+	b.Helper()
+	startupOnce.Do(func() {
+		g := kgsynth.Freebase(kgsynth.Config{Seed: 42}).Graph
+		var tsv bytes.Buffer
+		if err := triples.Write(&tsv, g); err != nil {
+			panic(err)
+		}
+		startupTSV = tsv.Bytes()
+		startupEng = NewEngine(g)
+		var snap bytes.Buffer
+		if err := startupEng.WriteSnapshot(&snap); err != nil {
+			panic(err)
+		}
+		startupSnap = snap.Bytes()
+	})
+	return startupTSV, startupSnap
+}
+
+// BenchmarkParseBuild is the cold startup path: parse TSV triples, intern
+// names, sort adjacency, partition and index the store, compute stats.
+func BenchmarkParseBuild(b *testing.B) {
+	tsv, _ := startupFixture(b)
+	b.SetBytes(int64(len(tsv)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := triples.LoadGraph(bytes.NewReader(tsv))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := NewEngine(g)
+		if eng.Store().NumEdges() != g.NumEdges() {
+			b.Fatal("bad engine")
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad is the warm startup path: the same engine restored
+// from its binary snapshot, skipping parsing, sorting, and indexing.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	_, snap := startupFixture(b)
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := ReadSnapshot(bytes.NewReader(snap))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.Store().NumEdges() == 0 {
+			b.Fatal("bad engine")
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures serialization, for operators deciding
+// whether -snapshot-write belongs in their restart path.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	_, snap := startupFixture(b)
+	eng := startupEng
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := eng.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

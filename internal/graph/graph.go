@@ -12,7 +12,9 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies an entity node in a Graph. IDs are dense, starting at 0.
@@ -50,7 +52,12 @@ type Graph struct {
 	in  [][]Arc
 
 	numEdges int
-	edges    map[Edge]struct{}
+	// edges is the dedup set AddEdgeIDs consults. Snapshot-loaded graphs
+	// leave it nil — the set costs more memory than the adjacency itself at
+	// web scale, and a loaded graph is immutable in every serving path —
+	// and HasEdge then answers from adjacency; the first mutation rebuilds
+	// it (see ensureEdgeSet).
+	edges map[Edge]struct{}
 }
 
 // New returns an empty graph.
@@ -132,6 +139,7 @@ func (g *Graph) AddEdge(src, label, dst string) bool {
 // AddEdgeIDs adds the edge (src, label, dst) by ID. It reports whether the
 // edge was new; duplicate edges are ignored.
 func (g *Graph) AddEdgeIDs(src NodeID, label LabelID, dst NodeID) bool {
+	g.ensureEdgeSet()
 	e := Edge{Src: src, Label: label, Dst: dst}
 	if _, ok := g.edges[e]; ok {
 		return false
@@ -143,10 +151,42 @@ func (g *Graph) AddEdgeIDs(src NodeID, label LabelID, dst NodeID) bool {
 	return true
 }
 
-// HasEdge reports whether the exact edge exists.
+// ensureEdgeSet rebuilds the dedup set from adjacency for graphs loaded
+// without one (snapshots). Called only on the mutation path, so read-only
+// serving never pays for it.
+func (g *Graph) ensureEdgeSet() {
+	if g.edges != nil {
+		return
+	}
+	g.edges = make(map[Edge]struct{}, g.numEdges)
+	for src, arcs := range g.out {
+		for _, a := range arcs {
+			g.edges[Edge{Src: NodeID(src), Label: a.Label, Dst: a.Node}] = struct{}{}
+		}
+	}
+}
+
+// HasEdge reports whether the exact edge exists. Graphs loaded from a
+// snapshot carry no edge set and answer by scanning the smaller of the two
+// adjacency lists instead.
 func (g *Graph) HasEdge(e Edge) bool {
-	_, ok := g.edges[e]
-	return ok
+	if g.edges != nil {
+		_, ok := g.edges[e]
+		return ok
+	}
+	if int(e.Src) >= len(g.out) || int(e.Dst) >= len(g.in) || e.Src < 0 || e.Dst < 0 {
+		return false
+	}
+	arcs, want := g.out[e.Src], Arc{Label: e.Label, Node: e.Dst}
+	if rev := g.in[e.Dst]; len(rev) < len(arcs) {
+		arcs, want = rev, Arc{Label: e.Label, Node: e.Src}
+	}
+	for _, a := range arcs {
+		if a == want {
+			return true
+		}
+	}
+	return false
 }
 
 // OutArcs returns the outgoing adjacency of v. The returned slice is owned by
@@ -183,12 +223,65 @@ func (g *Graph) EdgesAsTriples(fn func(s, p, o string)) {
 
 // SortAdjacency sorts all adjacency lists by (label, node). Loading is
 // order-dependent on input; sorting makes traversal order deterministic,
-// which the experiments rely on for reproducibility.
-func (g *Graph) SortAdjacency() {
-	for v := range g.out {
-		sortArcs(g.out[v])
-		sortArcs(g.in[v])
+// which the experiments rely on for reproducibility. Per-node lists are
+// independent, so the work is spread across GOMAXPROCS workers; the result
+// is identical to a sequential sort.
+func (g *Graph) SortAdjacency() { g.SortAdjacencyParallel(0) }
+
+// sortParallelMin is the node count below which SortAdjacencyParallel stays
+// sequential: goroutine fan-out costs more than sorting a few thousand tiny
+// lists.
+const sortParallelMin = 1 << 13
+
+// SortAdjacencyParallel is SortAdjacency across the given number of workers
+// (0 or negative selects GOMAXPROCS). It must not run concurrently with
+// mutation, like SortAdjacency itself.
+func (g *Graph) SortAdjacencyParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	n := len(g.out)
+	if workers == 1 || n < sortParallelMin {
+		for v := range g.out {
+			sortArcs(g.out[v])
+			sortArcs(g.in[v])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range NodeRanges(n, workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				sortArcs(g.out[v])
+				sortArcs(g.in[v])
+			}
+		}(r[0], r[1])
+	}
+	wg.Wait()
+}
+
+// NodeRanges splits [0, n) into at most `parts` contiguous half-open
+// [lo, hi) ranges balanced to within one element — the partitioning used by
+// every sharded pass over the node space (adjacency sorting here, the
+// sharded store build in internal/storage).
+func NodeRanges(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
 }
 
 func sortArcs(arcs []Arc) {

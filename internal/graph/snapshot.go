@@ -1,0 +1,194 @@
+// Snapshot section: the data graph serialized as flat columns, so a restart
+// skips triple parsing, name interning from text, and adjacency sorting.
+//
+// Layout (all values via internal/snapio; lengths prefix every column):
+//
+//	string table: u32 count, i32col byte lengths, length-prefixed blob of
+//	              all names concatenated — loaded names are slices of one
+//	              backing string, not count individual allocations
+//	(same shape for labels)
+//	u64 numEdges
+//	out adjacency: i32col degrees (numNodes), i32col arc labels, i32col arc
+//	               far ends (numEdges each, concatenated in node order)
+//	in adjacency:  same three columns
+//
+// Both adjacency directions are stored even though one is a permutation of
+// the other: +8 bytes per edge on disk buys a load path that only slices
+// flat arenas — no counting sort, no per-node re-sort — which is the point
+// of a snapshot. The edge dedup set is not rebuilt at all (see Graph.edges).
+package graph
+
+import (
+	"fmt"
+
+	"gqbe/internal/snapio"
+)
+
+// writeStringTable emits the blob-backed string column. Lengths and blob
+// are streamed, and every length prefix is bounds-checked on the way out
+// (Writer.Len fails with ErrTooLarge), so an oversized table fails the
+// write instead of producing a file every load would reject.
+func writeStringTable(w *snapio.Writer, xs []string) {
+	w.Len(len(xs))
+	c := w.StartI32Col(len(xs))
+	total := 0
+	for _, s := range xs {
+		c.Add(int32(len(s)))
+		total += len(s)
+	}
+	if c.Close() != nil {
+		return
+	}
+	w.Len(total)
+	for _, s := range xs {
+		w.RawString(s)
+	}
+}
+
+// readStringTable loads a string column, slicing every entry out of one
+// backing string.
+func readStringTable(r *snapio.Reader) []string {
+	n := r.Len()
+	if r.Err() != nil {
+		return nil
+	}
+	lens := snapio.ReadI32Col[int32](r)
+	blob := r.String()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if len(lens) != n {
+		r.Fail(fmt.Errorf("%w: string table shape", snapio.ErrCorrupt))
+		return nil
+	}
+	out := make([]string, n)
+	pos := 0
+	for i, l := range lens {
+		if l < 0 || pos+int(l) > len(blob) {
+			r.Fail(fmt.Errorf("%w: string table overrun", snapio.ErrCorrupt))
+			return nil
+		}
+		out[i] = blob[pos : pos+int(l)]
+		pos += int(l)
+	}
+	if pos != len(blob) {
+		r.Fail(fmt.Errorf("%w: string table slack", snapio.ErrCorrupt))
+		return nil
+	}
+	return out
+}
+
+// writeAdjacency emits one direction as degree/label/node columns. The
+// columns are streamed straight off the adjacency lists (one extra pass
+// per column instead of materializing numEdges-sized temporaries — at
+// write time the graph is resident and a multi-GB host has no slack for
+// throwaway copies of it).
+func writeAdjacency(w *snapio.Writer, adj [][]Arc, numEdges int) {
+	c := w.StartI32Col(len(adj))
+	for _, arcs := range adj {
+		c.Add(int32(len(arcs)))
+	}
+	if c.Close() != nil {
+		return
+	}
+	c = w.StartI32Col(numEdges)
+	for _, arcs := range adj {
+		for _, a := range arcs {
+			c.Add(int32(a.Label))
+		}
+	}
+	if c.Close() != nil {
+		return
+	}
+	c = w.StartI32Col(numEdges)
+	for _, arcs := range adj {
+		for _, a := range arcs {
+			c.Add(int32(a.Node))
+		}
+	}
+	c.Close()
+}
+
+// readAdjacency loads one direction into a flat arc arena sliced per node,
+// preserving the written order and validating shape and ranges.
+func readAdjacency(r *snapio.Reader, numNodes, numLabels, numEdges int) [][]Arc {
+	deg := snapio.ReadI32Col[int32](r)
+	labels := snapio.ReadI32Col[LabelID](r)
+	nodes := snapio.ReadI32Col[NodeID](r)
+	if r.Err() != nil {
+		return nil
+	}
+	if len(deg) != numNodes || len(labels) != numEdges || len(nodes) != numEdges {
+		r.Fail(fmt.Errorf("%w: adjacency column shape mismatch", snapio.ErrCorrupt))
+		return nil
+	}
+	arena := make([]Arc, numEdges)
+	for i := range arena {
+		l, n := labels[i], nodes[i]
+		if int(n) < 0 || int(n) >= numNodes || int(l) < 0 || int(l) >= numLabels {
+			r.Fail(fmt.Errorf("%w: arc out of range", snapio.ErrCorrupt))
+			return nil
+		}
+		arena[i] = Arc{Label: l, Node: n}
+	}
+	adj := make([][]Arc, numNodes)
+	pos := 0
+	for v := 0; v < numNodes; v++ {
+		d := int(deg[v])
+		if d < 0 || pos+d > numEdges {
+			r.Fail(fmt.Errorf("%w: degree column overruns edges", snapio.ErrCorrupt))
+			return nil
+		}
+		adj[v] = arena[pos : pos+d : pos+d]
+		pos += d
+	}
+	if pos != numEdges {
+		r.Fail(fmt.Errorf("%w: degree sum %d != edge count %d", snapio.ErrCorrupt, pos, numEdges))
+		return nil
+	}
+	return adj
+}
+
+// AppendSnapshot writes g's snapshot section to w. Arcs are written in the
+// graph's current adjacency order, which the loaded graph reproduces
+// exactly, so a sorted graph round-trips to a sorted graph.
+func (g *Graph) AppendSnapshot(w *snapio.Writer) error {
+	writeStringTable(w, g.names)
+	writeStringTable(w, g.labels)
+	w.U64(uint64(g.numEdges))
+	writeAdjacency(w, g.out, g.numEdges)
+	writeAdjacency(w, g.in, g.numEdges)
+	return w.Err()
+}
+
+// ReadSnapshot reads a snapshot section written by AppendSnapshot and
+// reconstructs the graph. The name/label interning maps are rebuilt (query
+// tuples resolve entities by name); everything else lands by slicing flat
+// columns.
+func ReadSnapshot(r *snapio.Reader) (*Graph, error) {
+	g := &Graph{}
+	g.names = readStringTable(r)
+	g.labels = readStringTable(r)
+	numEdges := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if numEdges >= snapio.MaxElems {
+		return nil, fmt.Errorf("%w: %d edges", snapio.ErrCorrupt, numEdges)
+	}
+	g.numEdges = int(numEdges)
+	g.byName = make(map[string]NodeID, len(g.names))
+	for i, n := range g.names {
+		g.byName[n] = NodeID(i)
+	}
+	g.labelByName = make(map[string]LabelID, len(g.labels))
+	for i, l := range g.labels {
+		g.labelByName[l] = LabelID(i)
+	}
+	g.out = readAdjacency(r, len(g.names), len(g.labels), g.numEdges)
+	g.in = readAdjacency(r, len(g.names), len(g.labels), g.numEdges)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return g, nil
+}

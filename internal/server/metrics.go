@@ -121,6 +121,15 @@ type statzEngine struct {
 	Predicates int `json:"predicates"`
 }
 
+// statzBuild describes how the engine's offline phase ran: a restart either
+// paid for a full parse+build (build_ms at the recorded shard count) or a
+// binary snapshot load (snapshot true, shards 1).
+type statzBuild struct {
+	BuildMS  float64 `json:"build_ms"`
+	Shards   int     `json:"shards"`
+	Snapshot bool    `json:"snapshot"`
+}
+
 // statzSnapshot is the full /statz response body.
 type statzSnapshot struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -141,12 +150,13 @@ type statzSnapshot struct {
 	Latency       statzLatency `json:"latency"`
 	Cache         statzCache   `json:"cache"`
 	Engine        statzEngine  `json:"engine"`
+	Build         statzBuild   `json:"build"`
 }
 
 // snapshot assembles a consistent-enough view of the serving metrics: each
 // counter is read atomically; cross-counter skew of a few requests is fine
 // for a stats endpoint.
-func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine) statzSnapshot {
+func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild) statzSnapshot {
 	uptime := time.Since(m.start).Seconds()
 	qs, samples := m.lat.quantiles(0.50, 0.90, 0.99)
 	hits, misses, evictions := cache.counters()
@@ -190,5 +200,6 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 			SkippedFast: m.cacheSkippedFast.Load(),
 		},
 		Engine: eng,
+		Build:  build,
 	}
 }

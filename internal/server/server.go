@@ -844,10 +844,15 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
+	info := s.eng.BuildInfo()
 	snap := s.met.snapshot(s.cache, s.adm, statzEngine{
 		Entities:   s.eng.NumEntities(),
 		Facts:      s.eng.NumFacts(),
 		Predicates: s.eng.NumPredicates(),
+	}, statzBuild{
+		BuildMS:  float64(info.BuildTime) / float64(time.Millisecond),
+		Shards:   info.Shards,
+		Snapshot: info.FromSnapshot,
 	})
 	writeJSON(w, http.StatusOK, snap)
 }

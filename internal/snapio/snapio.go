@@ -1,0 +1,394 @@
+// Package snapio provides the low-level binary encoding shared by the
+// knowledge-graph snapshot format (internal/graph and internal/storage write
+// their sections with it; internal/core frames the sections into a file).
+//
+// The format is deliberately dumb: little-endian fixed-width integers and
+// length-prefixed flat columns, so a multi-gigabyte snapshot is written and
+// read as a handful of large sequential transfers with no per-row decoding
+// beyond a byte-order swap. Every value a Writer emits feeds a running
+// CRC-32C, and a Reader hashes exactly the bytes it consumes, so the caller
+// can frame sections with a trailing checksum without double-reading the
+// payload.
+//
+// Corruption never panics: malformed input surfaces as one of the typed
+// sentinel errors (ErrTruncated, ErrCorrupt), which file-level callers wrap
+// alongside their own ErrBadMagic / ErrVersion / ErrChecksum checks.
+package snapio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"strings"
+)
+
+// Typed snapshot errors; test with errors.Is. ErrBadMagic, ErrVersion and
+// ErrChecksum are returned by the file-level framing in internal/core;
+// ErrTruncated and ErrCorrupt by any reader primitive.
+var (
+	// ErrBadMagic means the input does not start with the snapshot magic —
+	// it is not a snapshot file at all.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrVersion means the snapshot was written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported version")
+	// ErrChecksum means the payload does not match its recorded CRC-32C.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrTruncated means the input ended before the encoded structure did.
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrCorrupt means a decoded value is structurally impossible (e.g. a
+	// column length past the sanity bound), caught before the checksum
+	// trailer is even reachable.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	// ErrTooLarge is a write-side error: a column or blob exceeds what the
+	// u32 length prefixes can represent (MaxElems). Writers fail fast
+	// instead of emitting a file the reader would reject as corrupt.
+	ErrTooLarge = errors.New("snapshot: value too large for format")
+)
+
+// castagnoli is the CRC-32C table; Castagnoli is hardware-accelerated on
+// amd64/arm64, which matters at multi-GB snapshot sizes.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxElems bounds any single column's element count. It exists so a corrupt
+// length prefix fails with ErrCorrupt instead of attempting a ludicrous
+// allocation; 1<<31 elements is already past what int32 node IDs can index.
+const MaxElems = 1 << 31
+
+// chunkBytes is the staging-buffer size for column transfers: large enough
+// that a multi-million-row column moves in a few syscalls, small enough to
+// stay cache-friendly.
+const chunkBytes = 1 << 16
+
+// Writer encodes snapshot values onto an io.Writer, keeping a running
+// CRC-32C of every byte written. The first I/O error sticks: subsequent
+// writes are no-ops and Err returns it, so callers can emit a whole section
+// and check once.
+type Writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	buf [chunkBytes]byte
+	err error
+}
+
+// NewWriter returns a Writer over w. The caller is responsible for any
+// buffering on w (the column primitives already write in large chunks).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, crc: crc32.New(castagnoli)}
+}
+
+// Err returns the first error encountered, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// Sum32 returns the CRC-32C of everything written so far.
+func (w *Writer) Sum32() uint32 { return w.crc.Sum32() }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = fmt.Errorf("snapshot: write: %w", err)
+		return
+	}
+	w.crc.Write(p)
+}
+
+// Raw writes p verbatim (hashed) — file magic and other fixed framing.
+func (w *Writer) Raw(p []byte) { w.write(p) }
+
+// RawU32 writes a little-endian uint32 without hashing it — the file
+// trailer, which stores the checksum itself.
+func (w *Writer) RawU32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := w.w.Write(b[:]); err != nil {
+		w.err = fmt.Errorf("snapshot: write: %w", err)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+// I32 writes a little-endian int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// Len writes a length prefix, failing with ErrTooLarge when it exceeds
+// what the format can represent — the write-side mirror of Reader.Len, so
+// an oversized column fails the snapshot write instead of producing a file
+// every load would reject as corrupt.
+func (w *Writer) Len(n int) {
+	if n < 0 || uint64(n) >= MaxElems {
+		if w.err == nil {
+			w.err = fmt.Errorf("%w: length %d", ErrTooLarge, n)
+		}
+		return
+	}
+	w.U32(uint32(n))
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Len(len(s))
+	w.RawString(s)
+}
+
+// RawString writes a string's bytes with no length prefix — for blob
+// columns whose lengths are stored separately.
+func (w *Writer) RawString(s string) {
+	if w.err != nil || len(s) == 0 {
+		return
+	}
+	// Stage through the chunk buffer to avoid a per-call allocation from
+	// the string→[]byte conversion.
+	for len(s) > 0 {
+		n := copy(w.buf[:], s)
+		w.write(w.buf[:n])
+		s = s[n:]
+	}
+}
+
+// I32Col writes a length-prefixed flat column of any int32-typed values
+// (graph.NodeID, graph.LabelID, int32 offsets) in chunked little-endian
+// form.
+func I32Col[T ~int32](w *Writer, xs []T) {
+	w.Len(len(xs))
+	for len(xs) > 0 && w.err == nil {
+		n := len(xs)
+		if n > chunkBytes/4 {
+			n = chunkBytes / 4
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(w.buf[4*i:], uint32(xs[i]))
+		}
+		w.write(w.buf[:4*n])
+		xs = xs[n:]
+	}
+}
+
+// ColWriter streams one length-prefixed int32 column element by element,
+// so callers deriving a column from a larger structure (adjacency lists,
+// pair slices) need not materialize a temp slice of it first — at
+// snapshot-write time the graph is already resident, and an extra
+// O(numEdges) allocation is exactly what a multi-GB host cannot spare.
+type ColWriter struct {
+	w         *Writer
+	remaining int
+	off       int // bytes staged in w.buf
+}
+
+// StartI32Col writes the length prefix for an n-element column and returns
+// the element sink. The caller must Add exactly n values and then Close;
+// no other Writer method may be used in between (the chunk buffer is
+// shared).
+func (w *Writer) StartI32Col(n int) *ColWriter {
+	w.Len(n)
+	return &ColWriter{w: w, remaining: n}
+}
+
+// Add appends one element to the column.
+func (c *ColWriter) Add(v int32) {
+	if c.w.err != nil {
+		return
+	}
+	if c.remaining <= 0 {
+		c.w.err = fmt.Errorf("%w: column element past its declared length", ErrTooLarge)
+		return
+	}
+	c.remaining--
+	binary.LittleEndian.PutUint32(c.w.buf[c.off:], uint32(v))
+	c.off += 4
+	if c.off == chunkBytes {
+		c.w.write(c.w.buf[:c.off])
+		c.off = 0
+	}
+}
+
+// Close flushes the final chunk, failing if the element count disagrees
+// with the declared length.
+func (c *ColWriter) Close() error {
+	if c.off > 0 && c.w.err == nil {
+		c.w.write(c.w.buf[:c.off])
+		c.off = 0
+	}
+	if c.remaining != 0 && c.w.err == nil {
+		c.w.err = fmt.Errorf("%w: column closed %d elements short", ErrCorrupt, c.remaining)
+	}
+	return c.w.err
+}
+
+// Reader decodes snapshot values from an io.Reader, hashing exactly the
+// bytes it consumes (so a trailing checksum can be read unhashed with
+// RawU32). Like Writer, the first error sticks.
+type Reader struct {
+	r   io.Reader
+	crc hash.Hash32
+	buf [chunkBytes]byte
+	err error
+}
+
+// NewReader returns a Reader over r. For file-backed snapshots pass a
+// *bufio.Reader (or any buffered reader); the column primitives read in
+// large chunks either way.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, crc: crc32.New(castagnoli)}
+}
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Sum32 returns the CRC-32C of everything consumed so far (excluding
+// RawU32 reads).
+func (r *Reader) Sum32() uint32 { return r.crc.Sum32() }
+
+// fail records err (once) and returns it.
+func (r *Reader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Fail records a decoding error discovered by the caller (a structural
+// check above the primitive layer); like internal errors, the first one
+// sticks.
+func (r *Reader) Fail(err error) { r.fail(err) }
+
+func (r *Reader) readFull(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(fmt.Errorf("snapshot: read: %w", err))
+		}
+		return false
+	}
+	r.crc.Write(p)
+	return true
+}
+
+// Raw reads len(p) bytes verbatim (hashed) — file magic and other fixed
+// framing.
+func (r *Reader) Raw(p []byte) { r.readFull(p) }
+
+// RawU32 reads a little-endian uint32 without hashing it (the checksum
+// trailer).
+func (r *Reader) RawU32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(fmt.Errorf("snapshot: read: %w", err))
+		}
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	var b [4]byte
+	if !r.readFull(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	var b [8]byte
+	if !r.readFull(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// Len reads a length prefix, failing with ErrCorrupt when it exceeds the
+// sanity bound (a corrupt prefix must not drive a giant allocation).
+func (r *Reader) Len() int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if uint64(n) >= MaxElems {
+		r.fail(fmt.Errorf("%w: implausible length %d", ErrCorrupt, n))
+		return 0
+	}
+	return int(n)
+}
+
+// speculativeAllocCap bounds how much memory a reader allocates on the
+// strength of a length prefix alone. A corrupted prefix can claim up to
+// MaxElems; allocating that before the bytes actually arrive would turn a
+// bit flip into an OOM abort (fatal under cgroup limits) instead of the
+// typed error the corruption paths promise. Columns and blobs start at
+// this cap and grow only as real data is consumed.
+const speculativeAllocCap = 1 << 20 // elements or bytes per initial allocation
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(min(n, speculativeAllocCap))
+	for got := 0; got < n; {
+		c := min(n-got, chunkBytes)
+		if !r.readFull(r.buf[:c]) {
+			return ""
+		}
+		b.Write(r.buf[:c])
+		got += c
+	}
+	return b.String()
+}
+
+// ReadI32Col reads a length-prefixed flat column written by I32Col. The
+// destination grows chunk by chunk as data arrives (see
+// speculativeAllocCap), so a corrupt length prefix costs a typed error,
+// not a giant allocation.
+func ReadI32Col[T ~int32](r *Reader) []T {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]T, 0, min(n, speculativeAllocCap))
+	for len(out) < n {
+		c := min(n-len(out), chunkBytes/4)
+		if !r.readFull(r.buf[:4*c]) {
+			return nil
+		}
+		for j := 0; j < c; j++ {
+			out = append(out, T(binary.LittleEndian.Uint32(r.buf[4*j:])))
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package snapio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(7)
+	w.U64(1 << 40)
+	w.I32(-3)
+	w.String("hello")
+	w.String("")
+	col := []int32{0, 1, -5, 1 << 30}
+	I32Col(w, col)
+	I32Col(w, []int32(nil))
+	if w.Err() != nil {
+		t.Fatalf("write: %v", w.Err())
+	}
+	sum := w.Sum32()
+	w.RawU32(sum)
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.U32(); got != 7 {
+		t.Errorf("U32 = %d, want 7", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I32(); got != -3 {
+		t.Errorf("I32 = %d, want -3", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	gotCol := ReadI32Col[int32](r)
+	if len(gotCol) != len(col) {
+		t.Fatalf("col len = %d, want %d", len(gotCol), len(col))
+	}
+	for i := range col {
+		if gotCol[i] != col[i] {
+			t.Errorf("col[%d] = %d, want %d", i, gotCol[i], col[i])
+		}
+	}
+	if got := ReadI32Col[int32](r); got != nil {
+		t.Errorf("nil col = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("read: %v", r.Err())
+	}
+	if r.Sum32() != sum {
+		t.Errorf("reader CRC %08x != writer CRC %08x", r.Sum32(), sum)
+	}
+	if got := r.RawU32(); got != sum {
+		t.Errorf("trailer = %08x, want %08x", got, sum)
+	}
+}
+
+// TestLargeColumn crosses the chunking boundary in both directions.
+func TestLargeColumn(t *testing.T) {
+	col := make([]int32, chunkBytes/4*3+17)
+	for i := range col {
+		col[i] = int32(i * 31)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	I32Col(w, col)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	r := NewReader(&buf)
+	got := ReadI32Col[int32](r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(col) {
+		t.Fatalf("len = %d, want %d", len(got), len(col))
+	}
+	for i := range col {
+		if got[i] != col[i] {
+			t.Fatalf("col[%d] = %d, want %d", i, got[i], col[i])
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	I32Col(w, []int32{1, 2, 3, 4, 5})
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		ReadI32Col[int32](r)
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, r.Err())
+		}
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(0xFFFFFFFF) // length prefix far past MaxElems
+	r := NewReader(strings.NewReader(buf.String()))
+	ReadI32Col[int32](r)
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+// TestErrSticks verifies a Reader stays failed after the first error, so a
+// section decode can check Err once at the end.
+func TestErrSticks(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	_ = r.String()
+	_ = ReadI32Col[int32](r)
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("sticky err = %v", r.Err())
+	}
+}

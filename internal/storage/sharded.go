@@ -1,0 +1,155 @@
+// Sharded store construction: the per-label tables are independent once the
+// edges are partitioned, so the offline "hash the whole graph in memory"
+// phase parallelizes across GOMAXPROCS workers in three passes —
+//
+//  1. count: workers scan disjoint node ranges of the out-adjacency and
+//     count edges per label;
+//  2. scatter: per-(worker, label) write cursors fall out of a prefix sum
+//     over the counts, and the same scans fill every table's pair slice
+//     with no locking and exactly one allocation per table;
+//  3. index: workers drain the tables (largest first) and build both CSR
+//     indexes of each.
+//
+// The output is bit-identical to the sequential Build: the scatter writes
+// pairs in ascending source-node order (workers own contiguous node ranges
+// and cursors are laid out in worker order), which is the same order
+// Build's single scan appends in, and buildIndexes fully sorts the pairs
+// anyway. An oracle test asserts byte equality of the snapshots.
+package storage
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"gqbe/internal/graph"
+)
+
+// ShardedBuildMin is the edge count below which BuildSharded falls back to
+// the sequential Build: fan-out costs more than it saves on tiny graphs.
+// Exported so callers reporting their effective parallelism (core's
+// BuildInfo) can tell when the fallback applies.
+const ShardedBuildMin = 1 << 12
+
+// EffectiveShards resolves the worker count BuildSharded actually uses for
+// g: the GOMAXPROCS default for shards ≤ 0, the small-graph fallback to 1,
+// and the clamp to the node count (NodeRanges cannot split finer). It is
+// the single source of truth for that decision — callers reporting their
+// parallelism (core's BuildInfo) consult it rather than mirroring the
+// rules.
+func EffectiveShards(g *graph.Graph, shards int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if g.NumEdges() < ShardedBuildMin {
+		return 1
+	}
+	if n := g.NumNodes(); shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// BuildSharded is Build with table construction spread across `shards`
+// workers (0 or negative selects GOMAXPROCS; 1 runs the sharded machinery
+// on a single worker, and tiny graphs fall back to the sequential Build —
+// see EffectiveShards). The resulting store is bit-identical to Build's.
+func BuildSharded(g *graph.Graph, shards int) *Store {
+	shards = EffectiveShards(g, shards)
+	if g.NumEdges() < ShardedBuildMin {
+		return Build(g)
+	}
+	numLabels := g.NumLabels()
+	s := &Store{
+		tables:    make([]*Table, numLabels),
+		numEdges:  g.NumEdges(),
+		numLabels: numLabels,
+	}
+	for l := 0; l < numLabels; l++ {
+		s.tables[l] = &Table{label: graph.LabelID(l)}
+	}
+	ranges := graph.NodeRanges(g.NumNodes(), shards)
+
+	// Pass 1: per-(worker, label) edge counts over disjoint node ranges.
+	counts := make([][]int32, len(ranges))
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := make([]int32, numLabels)
+			for v := lo; v < hi; v++ {
+				for _, a := range g.OutArcs(graph.NodeID(v)) {
+					c[a.Label]++
+				}
+			}
+			counts[w] = c
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+
+	// Prefix sums: cursor[w][l] is worker w's first write index into table
+	// l's pair slice; the per-label total sizes the slice exactly.
+	cursors := make([][]int32, len(ranges))
+	next := make([]int32, numLabels)
+	for w := range ranges {
+		cur := make([]int32, numLabels)
+		copy(cur, next)
+		cursors[w] = cur
+		for l := 0; l < numLabels; l++ {
+			next[l] += counts[w][l]
+		}
+	}
+	for l := 0; l < numLabels; l++ {
+		if next[l] > 0 {
+			s.tables[l].pairs = make([]Pair, next[l])
+		}
+	}
+
+	// Pass 2: scatter. Each worker re-scans its node range, writing every
+	// edge at its own cursor — disjoint index ranges, so no locking.
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cur := cursors[w]
+			for v := lo; v < hi; v++ {
+				src := graph.NodeID(v)
+				for _, a := range g.OutArcs(src) {
+					s.tables[a.Label].pairs[cur[a.Label]] = Pair{Subj: src, Obj: a.Node}
+					cur[a.Label]++
+				}
+			}
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+
+	// Pass 3: index construction, largest tables first so a heavy-tailed
+	// label vocabulary (one huge table, many skinny ones) stays balanced.
+	order := make([]int, numLabels)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return len(s.tables[order[i]].pairs) > len(s.tables[order[j]].pairs)
+	})
+	work := make(chan int, numLabels)
+	for _, l := range order {
+		work <- l
+	}
+	close(work)
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range work {
+				s.tables[l].buildIndexes()
+			}
+		}()
+	}
+	wg.Wait()
+	return s
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/kgsynth"
+	"gqbe/internal/snapio"
+	"gqbe/internal/testkg"
+)
+
+// storeBytes serializes a store; byte equality of sections is the oracle
+// for build determinism.
+func storeBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	if err := s.AppendSnapshot(w); err != nil {
+		t.Fatalf("AppendSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildShardedDeterminism: the sharded build must be byte-identical to
+// the sequential one for every shard count — shard boundaries and worker
+// interleaving must never leak into the data plane.
+func TestBuildShardedDeterminism(t *testing.T) {
+	g := kgsynth.Freebase(kgsynth.Config{Seed: 42}).Graph
+	if g.NumEdges() < ShardedBuildMin {
+		t.Fatalf("bench graph too small (%d edges) to exercise the sharded path", g.NumEdges())
+	}
+	want := storeBytes(t, Build(g))
+	for _, shards := range []int{1, 2, 8} {
+		got := storeBytes(t, BuildSharded(g, shards))
+		if !bytes.Equal(got, want) {
+			t.Errorf("BuildSharded(%d) differs from sequential Build (%d vs %d bytes)", shards, len(got), len(want))
+		}
+	}
+}
+
+// TestBuildShardedDefault: shards ≤ 0 selects GOMAXPROCS and still matches.
+func TestBuildShardedDefault(t *testing.T) {
+	g := kgsynth.Freebase(kgsynth.Config{Seed: 42}).Graph
+	want := storeBytes(t, Build(g))
+	if got := storeBytes(t, BuildSharded(g, 0)); !bytes.Equal(got, want) {
+		t.Error("BuildSharded(0) differs from sequential Build")
+	}
+}
+
+// TestBuildShardedSmallGraph: below the size floor the sharded entry point
+// must still produce a correct (sequentially built) store.
+func TestBuildShardedSmallGraph(t *testing.T) {
+	g := testkg.Fig1()
+	seq, shd := Build(g), BuildSharded(g, 4)
+	if shd.NumEdges() != seq.NumEdges() || shd.NumLabels() != seq.NumLabels() {
+		t.Fatalf("small-graph sharded build shape mismatch")
+	}
+	if !bytes.Equal(storeBytes(t, shd), storeBytes(t, seq)) {
+		t.Error("small-graph sharded build differs from sequential")
+	}
+}
+
+// TestBuildShardedProbeOracle: beyond byte identity, probes through the
+// sharded store must agree with the graph itself.
+func TestBuildShardedProbeOracle(t *testing.T) {
+	g := kgsynth.Freebase(kgsynth.Config{Seed: 42}).Graph
+	s := BuildSharded(g, 8)
+	for l := 0; l < g.NumLabels(); l++ {
+		tab := s.MustTable(graph.LabelID(l))
+		for _, p := range tab.Pairs() {
+			if !g.HasEdge(graph.Edge{Src: p.Subj, Label: graph.LabelID(l), Dst: p.Obj}) {
+				t.Fatalf("sharded store invented edge (%d,%d,%d)", p.Subj, l, p.Obj)
+			}
+			if !tab.Has(p.Subj, p.Obj) {
+				t.Fatalf("sharded store cannot find its own row (%d,%d)", p.Subj, p.Obj)
+			}
+		}
+	}
+	if s.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", s.NumEdges(), g.NumEdges())
+	}
+}

@@ -153,3 +153,44 @@ func WriteFile(path string, g *graph.Graph) error {
 	}
 	return nil
 }
+
+// WriteStream emits every edge of g to w in the graph's adjacency order,
+// streaming each line as it is produced. Unlike Write it never materializes
+// the rendered output, so memory stays constant no matter how large the
+// graph — the writer for multi-GB synthetic KGs. The order is deterministic
+// for a deterministically built graph but is not sorted.
+func WriteStream(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var werr error
+	// Edges' bool return stops the walk at the first write error — on a
+	// multi-GB graph an ENOSPC must not iterate the remaining edges.
+	g.Edges(func(e graph.Edge) bool {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", g.Name(e.Src), g.LabelName(e.Label), g.Name(e.Dst)); err != nil {
+			werr = fmt.Errorf("triples: writing: %w", err)
+		}
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("triples: flushing: %w", err)
+	}
+	return nil
+}
+
+// WriteStreamFile is WriteStream to a created-or-truncated path.
+func WriteStreamFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("triples: %w", err)
+	}
+	if err := WriteStream(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("triples: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -103,6 +104,38 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// TestWriteStreamEquivalent: the streaming writer emits exactly the same
+// triple set as the sorted Write — only the line order differs.
+func TestWriteStreamEquivalent(t *testing.T) {
+	g := testkg.Fig1()
+	var sorted, streamed strings.Builder
+	if err := Write(&sorted, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(&streamed, g); err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Split(strings.TrimRight(sorted.String(), "\n"), "\n")
+	b := strings.Split(strings.TrimRight(streamed.String(), "\n"), "\n")
+	sort.Strings(b)
+	if len(a) != len(b) {
+		t.Fatalf("line counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// And the streamed form loads back into an equal graph.
+	g2, err := LoadGraph(strings.NewReader(streamed.String()))
+	if err != nil {
+		t.Fatalf("LoadGraph over streamed output: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumNodes() != g.NumNodes() {
+		t.Errorf("streamed round trip mismatch: %v vs %v", g2, g)
+	}
 }
 
 func TestWriteDeterministic(t *testing.T) {
