@@ -6,6 +6,10 @@
 //
 //	gqbed -graph kg.tsv [-addr :8080] [-max-concurrent 8] [-cache-entries 1024]
 //	      [-build-shards 0] [-snapshot kg.snap] [-snapshot-write]
+//	      [-search-workers 1]
+//
+// The complete flag reference and the /statz field glossary live in
+// docs/OPERATIONS.md.
 //
 // Startup: with -snapshot pointing at an existing file, the daemon restores
 // the preprocessed engine from the binary snapshot (large sequential reads,
@@ -25,6 +29,9 @@
 // The daemon sheds load with 429 once all workers are busy, answers repeated
 // queries from an LRU result cache, coalesces concurrent identical queries
 // into one engine search, and cancels any query that exceeds its deadline.
+// With -search-workers N each admitted search additionally fans its lattice
+// exploration across N concurrent evaluators (identical answers, lower
+// per-query latency; peak join memory scales with it).
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -59,6 +66,7 @@ func main() {
 		cacheMinLat   = flag.Duration("cache-min-latency", time.Millisecond, "cache admission floor: don't cache results whose search was faster than this (negative caches everything)")
 		batchItems    = flag.Int("max-batch-items", 64, "max queries per /v1/query:batch request")
 		batchConc     = flag.Int("batch-concurrency", 4, "max engine searches one batch runs at once (capped at -max-concurrent)")
+		searchWorkers = flag.Int("search-workers", 1, "concurrent lattice-node evaluators per search (1 = sequential, negative = GOMAXPROCS); answers are identical at any setting, but peak join memory scales with -max-concurrent × this")
 		pprofAddr     = flag.String("pprof-addr", "", "optional address (e.g. 127.0.0.1:6060) serving net/http/pprof on a separate listener; empty disables")
 
 		buildShards   = flag.Int("build-shards", 0, "concurrent workers for the offline store build (0 = GOMAXPROCS, 1 = sequential)")
@@ -100,6 +108,7 @@ func main() {
 		CacheMinLatency:     *cacheMinLat,
 		MaxBatchItems:       *batchItems,
 		MaxBatchConcurrency: *batchConc,
+		SearchWorkers:       *searchWorkers,
 	}.WithDefaults()
 	srv := server.New(eng, cfg)
 	httpSrv := &http.Server{

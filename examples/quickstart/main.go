@@ -4,6 +4,17 @@
 // pairs without any query language.
 //
 // Run with: go run ./examples/quickstart
+//
+// The Builder below is the programmatic path for small graphs. For real
+// TSV knowledge graphs use the loaders instead — gqbe.LoadFile, or at
+// multi-GB scale the fast-startup pair from docs/ARCHITECTURE.md:
+//
+//	eng, _ := gqbe.LoadFileSharded("kg.tsv", 0) // build across all cores
+//	_ = eng.WriteSnapshotFile("kg.snap")        // …then restart via
+//	eng, _ = gqbe.LoadSnapshotFile("kg.snap")   // no parse, no indexing
+//
+// and see gqbe.Options.Parallelism for fanning a single query's lattice
+// search across cores (identical answers, lower latency).
 package main
 
 import (

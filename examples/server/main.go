@@ -28,16 +28,25 @@
 //	curl -s localhost:8080/v1/query \
 //	     -d '{"tuple":["Jerry Yang","Yahoo!"],"timeout_ms":1,"no_cache":true}'
 //
-//	# entity lookup, liveness, and serving metrics — /statz now also
-//	# reports coalesced, batch_requests, batch_items, and batch_deduped
+//	# entity lookup, liveness, and serving metrics — docs/OPERATIONS.md
+//	# has the field-by-field /statz glossary
 //	curl -s localhost:8080/v1/entity/Jerry%20Yang
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/statz
 //
-// For a standalone daemon over a TSV graph file, use cmd/gqbed instead:
+// For a standalone daemon over a TSV graph file, use cmd/gqbed instead.
+// The production startup path builds the store across all cores on the
+// first start and writes a binary snapshot, so every restart skips parsing
+// and index construction entirely:
 //
 //	go run ./cmd/kggen -dataset freebase -out /tmp/freebase.tsv
-//	go run ./cmd/gqbed -graph /tmp/freebase.tsv -addr :8080
+//	go run ./cmd/gqbed -graph /tmp/freebase.tsv -addr :8080 \
+//	    -build-shards 0 -snapshot /tmp/freebase.snap -snapshot-write
+//
+// On restart the existing snapshot wins over -graph (a corrupt one falls
+// back to rebuilding). Add -search-workers N to fan each lattice search
+// across N evaluators — answers are bit-identical at any setting. The full
+// flag reference is docs/OPERATIONS.md.
 package main
 
 import (

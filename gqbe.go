@@ -64,6 +64,13 @@ type Options struct {
 	MaxRows int
 	// MaxEvaluations caps evaluated lattice nodes (default unlimited).
 	MaxEvaluations int
+	// Parallelism is the number of concurrent evaluators the lattice search
+	// fans out to (default 1 = the sequential search; negative selects
+	// GOMAXPROCS). The ranked answers and every reported statistic are
+	// bit-identical at any setting — this is purely a latency knob — but
+	// peak join memory scales with it: each worker materializes up to
+	// MaxRows rows at once.
+	Parallelism int
 }
 
 // Normalized returns a copy of o with the engine's defaults made explicit —
@@ -79,6 +86,7 @@ func (o *Options) Normalized() Options {
 		MQGSize:        c.MQGSize,
 		MaxRows:        c.MaxRows,
 		MaxEvaluations: c.MaxEvaluations,
+		Parallelism:    c.Parallelism,
 	}
 }
 
@@ -93,6 +101,7 @@ func (o *Options) toCore() core.Options {
 		MQGSize:        o.MQGSize,
 		MaxRows:        o.MaxRows,
 		MaxEvaluations: o.MaxEvaluations,
+		Parallelism:    o.Parallelism,
 	}
 }
 

@@ -36,6 +36,11 @@ type Options struct {
 	MaxRows int
 	// MaxEvaluations caps evaluated lattice nodes (0 = unlimited).
 	MaxEvaluations int
+	// Parallelism is the number of concurrent lattice-node evaluators the
+	// search fans out to (0/1 sequential, negative GOMAXPROCS). Results are
+	// bit-identical at any setting; peak join memory scales with it. See
+	// topk.Options.Parallelism.
+	Parallelism int
 }
 
 func (o *Options) fill() {
@@ -56,10 +61,11 @@ func (o *Options) fill() {
 // describe the same query plan, which is what result-cache keys need.
 func (o Options) Normalize() Options {
 	o.fill()
-	t := topk.Options{K: o.K, KPrime: o.KPrime, MaxRows: o.MaxRows, MaxEvaluations: o.MaxEvaluations}
+	t := topk.Options{K: o.K, KPrime: o.KPrime, MaxRows: o.MaxRows, MaxEvaluations: o.MaxEvaluations, Parallelism: o.Parallelism}
 	t.Fill()
 	o.KPrime = t.KPrime
 	o.MaxRows = t.MaxRows
+	o.Parallelism = t.Parallelism
 	return o
 }
 
@@ -278,6 +284,7 @@ func (e *Engine) searchMQG(ctx context.Context, m *mqg.MQG, exclude [][]graph.No
 		KPrime:         opts.KPrime,
 		MaxRows:        opts.MaxRows,
 		MaxEvaluations: opts.MaxEvaluations,
+		Parallelism:    opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: lattice search: %w", err)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"gqbe/internal/graph"
 	"gqbe/internal/lattice"
@@ -71,8 +72,20 @@ func (r *Rows) Len() int {
 // Row returns row i as a zero-copy view into the arena.
 func (r *Rows) Row(i int) Row { return Row(r.data[i*r.stride : (i+1)*r.stride]) }
 
-// Evaluator evaluates lattice nodes over one store, memoizing results.
-// It is single-query state and not safe for concurrent use.
+// memo is the evaluation state an evaluator shares with its forks: the
+// memoized per-node answer sets and the evaluation counter. Row sets are
+// immutable once installed, so the mutex guards only the map and counter —
+// the joins themselves run outside it.
+type memo struct {
+	mu        sync.Mutex
+	results   map[lattice.EdgeSet]*Rows
+	evaluated int
+}
+
+// Evaluator evaluates lattice nodes over one store, memoizing results. A
+// single Evaluator is single-query state and not safe for concurrent use,
+// but Fork derives sibling evaluators that share the memo and may run
+// Evaluate concurrently with each other and with the parent.
 type Evaluator struct {
 	store   *storage.Store
 	lat     *lattice.Lattice
@@ -88,12 +101,14 @@ type Evaluator struct {
 
 	unboundRow []graph.NodeID // stride Unbound values, the scanEdge template
 
-	results map[lattice.EdgeSet]*Rows
+	// memo is shared across Fork; everything above it is immutable after
+	// New, and everything below is per-evaluator.
+	memo *memo
 	// free holds arenas recycled by Release and by superseded scratch
-	// intermediates, reused by later evaluations.
+	// intermediates, reused by later evaluations. Deliberately per-evaluator
+	// (not on the shared memo): forked workers recycle and reuse arenas
+	// without contending on a lock in the join hot path.
 	free [][]graph.NodeID
-	// evaluated counts distinct lattice nodes evaluated (Fig. 15's metric).
-	evaluated int
 }
 
 // Option configures an Evaluator.
@@ -122,7 +137,7 @@ func New(s *storage.Store, l *lattice.Lattice, opts ...Option) *Evaluator {
 		maxRows: DefaultMaxRows,
 		ctx:     context.Background(),
 		slotOf:  make(map[graph.NodeID]int),
-		results: make(map[lattice.EdgeSet]*Rows),
+		memo:    &memo{results: make(map[lattice.EdgeSet]*Rows)},
 	}
 	slot := func(v graph.NodeID) int {
 		if i, ok := ev.slotOf[v]; ok {
@@ -184,22 +199,49 @@ func (ev *Evaluator) AppendTuple(dst []graph.NodeID, row Row) []graph.NodeID {
 	return dst
 }
 
-// Evaluated returns the number of distinct lattice nodes this evaluator has
-// evaluated — the quantity Fig. 15 compares across methods.
-func (ev *Evaluator) Evaluated() int { return ev.evaluated }
+// Fork returns an evaluator sharing ev's query plan and memoized results but
+// owning its own arena pool and running under ctx (nil keeps the parent's).
+// Forked siblings may call Evaluate concurrently: the memo is mutex-guarded,
+// installed row sets are immutable, and when two forks race to evaluate one
+// node the first install wins and the loser's arena is recycled locally.
+// Release must not run concurrently with any fork's Evaluate.
+func (ev *Evaluator) Fork(ctx context.Context) *Evaluator {
+	f := *ev     // shares the plan slices (immutable after New) and the memo
+	f.free = nil // arenas are per-evaluator
+	if ctx != nil {
+		f.ctx = ctx
+	}
+	return &f
+}
+
+// Evaluated returns the number of lattice-node evaluations this evaluator
+// (and its forks) ran — Fig. 15's metric for a sequential search. Under
+// concurrent forks it includes speculative and duplicate evaluations;
+// callers wanting the sequential-equivalent count must track consumption
+// themselves (internal/topk does).
+func (ev *Evaluator) Evaluated() int {
+	ev.memo.mu.Lock()
+	defer ev.memo.mu.Unlock()
+	return ev.memo.evaluated
+}
 
 // Rows returns the materialized answers of q, if it has been evaluated.
 func (ev *Evaluator) Rows(q lattice.EdgeSet) (*Rows, bool) {
-	rows, ok := ev.results[q]
+	ev.memo.mu.Lock()
+	defer ev.memo.mu.Unlock()
+	rows, ok := ev.memo.results[q]
 	return rows, ok
 }
 
 // Release drops the materialized answers of q, recycling their arena for
 // later evaluations. Rows previously returned for q become invalid.
 func (ev *Evaluator) Release(q lattice.EdgeSet) {
-	if rows, ok := ev.results[q]; ok {
+	ev.memo.mu.Lock()
+	rows, ok := ev.memo.results[q]
+	delete(ev.memo.results, q)
+	ev.memo.mu.Unlock()
+	if ok {
 		ev.recycle(rows)
-		delete(ev.results, q)
 	}
 }
 
@@ -232,38 +274,66 @@ func (ev *Evaluator) recycle(rows *Rows) {
 // memoizing it if needed. If some already-evaluated child Q' = q − e exists,
 // only the one extra edge is joined against Q”s materialized rows;
 // otherwise q is evaluated from scratch in a selectivity-greedy join order.
+//
+// The answer set (and whether the row budget trips) is a function of q
+// alone: extending any child appends exactly q's answer rows, and scratch
+// evaluation never reads the memo — so concurrent forks racing through here
+// in any interleaving produce the same rows for q, differing at most in row
+// order. The parallel search in internal/topk depends on this.
 func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
-	if rows, ok := ev.results[q]; ok {
-		return rows, nil
-	}
 	if q == 0 {
 		return nil, errors.New("exec: empty query graph")
 	}
+	// One lock hold for the memo hit, the child probe, and the counter;
+	// the join below runs outside it, reading only immutable child rows.
+	childEdge := -1
+	var childRows *Rows
+	ev.memo.mu.Lock()
+	if rows, ok := ev.memo.results[q]; ok {
+		ev.memo.mu.Unlock()
+		return rows, nil
+	}
 	if err := ev.ctx.Err(); err != nil {
+		ev.memo.mu.Unlock()
 		return nil, err
 	}
-	ev.evaluated++
-
+	ev.memo.evaluated++
 	// Prefer extending a materialized child by one edge (shared computation).
 	for r := uint64(q); r != 0; r &= r - 1 {
 		i := bits.TrailingZeros64(r)
-		child := q &^ lattice.Bit(i)
-		if childRows, ok := ev.results[child]; ok {
-			rows, err := ev.joinEdge(childRows, i)
-			if err != nil {
-				return nil, err
-			}
-			ev.results[q] = rows
-			return rows, nil
+		if rows, ok := ev.memo.results[q&^lattice.Bit(i)]; ok {
+			childEdge, childRows = i, rows
+			break
 		}
 	}
+	ev.memo.mu.Unlock()
 
-	rows, err := ev.evaluateScratch(q)
+	var rows *Rows
+	var err error
+	if childEdge >= 0 {
+		rows, err = ev.joinEdge(childRows, childEdge)
+	} else {
+		rows, err = ev.evaluateScratch(q)
+	}
 	if err != nil {
 		return nil, err
 	}
-	ev.results[q] = rows
-	return rows, nil
+	return ev.install(q, rows), nil
+}
+
+// install publishes rows as q's memoized answers. If a racing fork installed
+// q first, the existing rows win — callers elsewhere may already hold them —
+// and the duplicate's arena is recycled locally.
+func (ev *Evaluator) install(q lattice.EdgeSet, rows *Rows) *Rows {
+	ev.memo.mu.Lock()
+	if exist, ok := ev.memo.results[q]; ok {
+		ev.memo.mu.Unlock()
+		ev.recycle(rows)
+		return exist
+	}
+	ev.memo.results[q] = rows
+	ev.memo.mu.Unlock()
+	return rows
 }
 
 // evaluateScratch evaluates q with no materialized child: edges are joined

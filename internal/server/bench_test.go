@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -55,19 +56,43 @@ const poissonMeanGap = 4 * time.Millisecond
 //	          runs are reproducible), approximating bursty open-loop
 //	          interactive traffic
 //
-// BENCH_server.json records both baselines; re-record with:
+// Two further modes probe policy knobs rather than arrival shape:
+//
+//	workers    — the closed loop at -search-workers 1/2/8 with no_cache on
+//	             every request, so each one runs a real lattice search and
+//	             the sweep measures the parallel fan-out, not the result
+//	             cache. Single-core caveat: with no second core, W>1 rows
+//	             measure coordination overhead only (identical answers are
+//	             the topk oracle's guarantee); read speedups on multi-core
+//	             hardware.
+//	saturation — an offered-load ramp past the admission limit: N clients
+//	             (8..64 against 8 worker slots) fire cache-bypassing queries
+//	             under a short queue wait, so the server must shed; reported
+//	             rejected/served/p99 show the backpressure envelope.
+//
+// BENCH_server.json records all modes; re-record with:
 //
 //	go test -run '^$' -bench BenchmarkServerLoad -benchtime 1x ./internal/server
 func BenchmarkServerLoad(b *testing.B) {
-	b.Run("closed", func(b *testing.B) { benchServerLoad(b, false) })
-	b.Run("poisson", func(b *testing.B) { benchServerLoad(b, true) })
+	b.Run("closed", func(b *testing.B) { benchServerLoad(b, false, 1, false) })
+	b.Run("poisson", func(b *testing.B) { benchServerLoad(b, true, 1, false) })
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers/W%d", w), func(b *testing.B) { benchServerLoad(b, false, w, true) })
+	}
+	for _, clients := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("saturation/offered%d", clients), func(b *testing.B) { benchSaturation(b, clients) })
+	}
 }
 
-func benchServerLoad(b *testing.B, poisson bool) {
+func benchServerLoad(b *testing.B, poisson bool, searchWorkers int, noCache bool) {
 	eng, ds := loadBenchEngine(b)
 
 	const workers = 8
 	queryIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6"}
+	suffix := `}`
+	if noCache {
+		suffix = `,"no_cache":true}`
+	}
 	bodies := make([]string, len(queryIDs))
 	var batchItems []string
 	for i, id := range queryIDs {
@@ -75,15 +100,15 @@ func benchServerLoad(b *testing.B, poisson bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bodies[i] = `{"tuple":` + string(tup) + `}`
-		batchItems = append(batchItems, `{"tuple":`+string(tup)+`}`)
+		bodies[i] = `{"tuple":` + string(tup) + suffix
+		batchItems = append(batchItems, `{"tuple":`+string(tup)+suffix)
 	}
 	batchBody := `{"queries":[` + strings.Join(batchItems, ",") + `]}`
 
 	b.ResetTimer()
 	var snap statzSnapshot
 	for n := 0; n < b.N; n++ {
-		srv := New(eng, Config{MaxConcurrent: workers})
+		srv := New(eng, Config{MaxConcurrent: workers, SearchWorkers: searchWorkers})
 		post := func(path, body string) int {
 			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 			w := httptest.NewRecorder()
@@ -127,4 +152,65 @@ func benchServerLoad(b *testing.B, poisson bool) {
 	b.ReportMetric(float64(snap.Coalesced), "coalesced")
 	b.ReportMetric(float64(snap.CacheServed), "cache_served")
 	b.ReportMetric(float64(snap.Cache.SkippedFast), "cache_skipped_fast")
+}
+
+// benchSaturation rams `clients` concurrent closed-loop clients against a
+// server with 8 worker slots and a deliberately short queue wait, with
+// no_cache set on every request so each one demands real engine work (warm
+// cache hits would make saturation impossible to reach). Past ~8 clients
+// the offered load exceeds the admission limit and the server must shed:
+// the reported served/rejected split and p99 are the backpressure envelope
+// ROADMAP's saturation-sweep item asks to track.
+func benchSaturation(b *testing.B, clients int) {
+	eng, ds := loadBenchEngine(b)
+
+	const slots = 8
+	const perClient = 8
+	queryIDs := []string{"F1", "F2", "F3", "F4", "F5", "F6"}
+	bodies := make([]string, len(queryIDs))
+	for i, id := range queryIDs {
+		tup, err := json.Marshal(ds.MustQuery(id).QueryTuple())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = `{"tuple":` + string(tup) + `,"no_cache":true}`
+	}
+
+	b.ResetTimer()
+	var snap statzSnapshot
+	for n := 0; n < b.N; n++ {
+		srv := New(eng, Config{MaxConcurrent: slots, MaxQueueWait: 20 * time.Millisecond})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					req := httptest.NewRequest(http.MethodPost, "/v1/query",
+						strings.NewReader(bodies[(c+i)%len(bodies)]))
+					w := httptest.NewRecorder()
+					srv.ServeHTTP(w, req)
+					// Under deliberate overload 429 (shed) is an expected
+					// outcome; anything else but 200 is a bench bug.
+					if w.Code != http.StatusOK && w.Code != http.StatusTooManyRequests {
+						b.Errorf("saturation status %d: %s", w.Code, w.Body.String())
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		req := httptest.NewRequest(http.MethodGet, "/statz", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+			b.Fatalf("statz: %v", err)
+		}
+	}
+	b.ReportMetric(snap.QPS, "qps")
+	b.ReportMetric(snap.Latency.P50, "p50ms")
+	b.ReportMetric(snap.Latency.P99, "p99ms")
+	b.ReportMetric(float64(snap.Served), "served")
+	b.ReportMetric(float64(snap.Rejected), "rejected")
 }

@@ -130,6 +130,14 @@ type statzBuild struct {
 	Snapshot bool    `json:"snapshot"`
 }
 
+// statzSearch describes the lattice-search fan-out policy the server runs
+// queries with: workers is the effective SearchWorkers count (1 =
+// sequential). Answers are identical at any setting; the field is surfaced
+// so operators can correlate latency shifts with the knob.
+type statzSearch struct {
+	Workers int `json:"workers"`
+}
+
 // statzSnapshot is the full /statz response body.
 type statzSnapshot struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -151,12 +159,13 @@ type statzSnapshot struct {
 	Cache         statzCache   `json:"cache"`
 	Engine        statzEngine  `json:"engine"`
 	Build         statzBuild   `json:"build"`
+	Search        statzSearch  `json:"search"`
 }
 
 // snapshot assembles a consistent-enough view of the serving metrics: each
 // counter is read atomically; cross-counter skew of a few requests is fine
 // for a stats endpoint.
-func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild) statzSnapshot {
+func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild, search statzSearch) statzSnapshot {
 	uptime := time.Since(m.start).Seconds()
 	qs, samples := m.lat.quantiles(0.50, 0.90, 0.99)
 	hits, misses, evictions := cache.counters()
@@ -201,5 +210,6 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 		},
 		Engine: eng,
 		Build:  build,
+		Search: search,
 	}
 }

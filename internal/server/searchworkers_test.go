@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSearchWorkersIdenticalResponses drives the same query through servers
+// configured with different search fan-outs and requires byte-identical
+// response bodies — the serving-layer face of the topk oracle guarantee,
+// and the reason cache keys may ignore the knob.
+func TestSearchWorkersIdenticalResponses(t *testing.T) {
+	body := `{"tuple":["Jerry Yang","Yahoo!"],"k":5}`
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		s := newTestServer(t, Config{SearchWorkers: workers})
+		w := postQuery(t, s, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d, body %s", workers, w.Code, w.Body.String())
+		}
+		res := decodeQuery(t, w)
+		if res.Cached {
+			t.Fatalf("workers=%d: fresh server answered from cache", workers)
+		}
+		// Compare answers + the deterministic stats, not timings.
+		res.Stats.DiscoveryMS, res.Stats.MergeMS, res.Stats.ProcessingMS = 0, 0, 0
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = string(got)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("workers=%d response differs:\n  %s\nvs 1-worker baseline:\n  %s", workers, got, want)
+		}
+	}
+}
+
+// TestSearchWorkersConfigDefaults pins the fill rules: 0 is sequential (the
+// safe default — fan-out multiplies peak join memory), negative resolves to
+// GOMAXPROCS.
+func TestSearchWorkersConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.SearchWorkers != 1 {
+		t.Errorf("default SearchWorkers = %d, want 1", c.SearchWorkers)
+	}
+	c = Config{SearchWorkers: -1}.WithDefaults()
+	if c.SearchWorkers < 1 {
+		t.Errorf("negative SearchWorkers = %d, want >= 1 (GOMAXPROCS)", c.SearchWorkers)
+	}
+	c = Config{SearchWorkers: 6}.WithDefaults()
+	if c.SearchWorkers != 6 {
+		t.Errorf("explicit SearchWorkers changed to %d", c.SearchWorkers)
+	}
+}
+
+// TestStatzSearchSection checks /statz reports the effective fan-out under
+// the "search" key.
+func TestStatzSearchSection(t *testing.T) {
+	s := newTestServer(t, Config{SearchWorkers: 3})
+	req := httptest.NewRequest(http.MethodGet, "/statz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("statz status %d", w.Code)
+	}
+	var snap statzSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	if snap.Search.Workers != 3 {
+		t.Errorf("statz search.workers = %d, want 3", snap.Search.Workers)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -104,6 +105,14 @@ type Config struct {
 	// run at once (default 4, never above MaxConcurrent): a single batch
 	// must not monopolize the worker pool against interactive traffic.
 	MaxBatchConcurrency int
+	// SearchWorkers is the number of concurrent lattice-node evaluators
+	// each engine search fans out to (default 1 = sequential; negative
+	// selects GOMAXPROCS). Answers are bit-identical at any setting, so
+	// this is an operator latency knob, never a client request field — but
+	// it multiplies peak join memory: up to MaxConcurrent searches ×
+	// SearchWorkers workers × the row budget can be materialized at once,
+	// so raise one only with an eye on the other.
+	SearchWorkers int
 }
 
 // WithDefaults returns c with every unset field filled in and the
@@ -156,6 +165,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxBatchConcurrency > c.MaxConcurrent {
 		c.MaxBatchConcurrency = c.MaxConcurrent
+	}
+	if c.SearchWorkers == 0 {
+		c.SearchWorkers = 1
+	}
+	if c.SearchWorkers < 0 {
+		c.SearchWorkers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -374,6 +389,9 @@ func (q *queryRequest) normalize() ([][]string, gqbe.Options, error) {
 // would-be separators — cannot make two structurally different requests
 // collide. Tuple order is preserved (multi-tuple merge weighting is
 // order-sensitive in principle, so distinct orders are distinct queries).
+// Options.Parallelism is deliberately absent: search fan-out returns
+// bit-identical answers at any worker count (oracle-tested in topk), so
+// keying on it would only fragment the cache across config changes.
 func cacheKeyFor(tuples [][]string, o gqbe.Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|", len(tuples))
@@ -711,6 +729,10 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	if s.execHook != nil {
 		s.execHook()
 	}
+	// The search fan-out is applied here — after cache-key construction, for
+	// every path that reaches the engine (query, batch, no_cache) — so the
+	// knob is uniformly the server's, never the client's.
+	opts.Parallelism = s.cfg.SearchWorkers
 	start := time.Now()
 	defer func() {
 		searched = time.Since(start)
@@ -853,6 +875,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		BuildMS:  float64(info.BuildTime) / float64(time.Millisecond),
 		Shards:   info.Shards,
 		Snapshot: info.FromSnapshot,
+	}, statzSearch{
+		Workers: s.cfg.SearchWorkers,
 	})
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -23,9 +24,14 @@ var (
 
 // benchFixture runs discovery for the benchmark workload queries over the
 // kgsynth Freebase-like graph (seed 42) once per process; Search itself is
-// what the benchmarks measure.
+// what the benchmarks measure. The parallel-search oracle tests reuse it
+// (kgFixture) so the W-sweep runs against the same realistic graph.
 func benchFixture(b *testing.B) {
 	b.Helper()
+	kgFixture()
+}
+
+func kgFixture() {
 	benchOnce.Do(func() {
 		ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
 		st := storage.Build(ds.Graph)
@@ -58,13 +64,13 @@ func benchFixture(b *testing.B) {
 
 // benchSearch is the end-to-end search benchmark body: one full best-first
 // lattice search (Alg. 2 + Theorem 4) for a workload query, per iteration.
-func benchSearch(b *testing.B, id string, k int) {
+func benchSearch(b *testing.B, id string, opts Options) {
 	benchFixture(b)
 	lat, tuple := benchLats[id], benchTups[id]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Search(benchSt, lat, [][]graph.NodeID{tuple}, Options{K: k})
+		res, err := Search(benchSt, lat, [][]graph.NodeID{tuple}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,5 +80,21 @@ func benchSearch(b *testing.B, id string, k int) {
 	}
 }
 
-func BenchmarkSearchF1(b *testing.B)  { benchSearch(b, "F1", 25) }
-func BenchmarkSearchF18(b *testing.B) { benchSearch(b, "F18", 25) }
+func BenchmarkSearchF1(b *testing.B)  { benchSearch(b, "F1", Options{K: 25}) }
+func BenchmarkSearchF18(b *testing.B) { benchSearch(b, "F18", Options{K: 25}) }
+
+// BenchmarkSearchWorkers sweeps the parallel fan-out (Options.Parallelism)
+// over the workload queries. W=1 is the sequential baseline above; W>1 rows
+// measure the coordinator + worker machinery. On a single-core container the
+// W>1 rows show pure coordination overhead (there is no second core to win
+// time back on) — read speedups only on multi-core hardware; correctness at
+// every W is the oracle tests' job, not this benchmark's.
+func BenchmarkSearchWorkers(b *testing.B) {
+	for _, id := range benchQuery {
+		for _, w := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("%s/W%d", id, w), func(b *testing.B) {
+				benchSearch(b, id, Options{K: 25, Parallelism: w})
+			})
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Parallel lattice search: the coordinator + worker fan-out behind
+// Options.Parallelism.
+//
+// The best-first search of Alg. 2 is adaptive — each evaluated node can
+// prune ancestors, rebuild the upper frontier, and move the Theorem-4
+// termination bar — so naively evaluating W frontier nodes at once would
+// change which nodes ever get evaluated. Instead, the control loop stays
+// exactly the sequential one (searcher.run, driving pops, pruning, absorb,
+// and termination single-threaded), and only the expensive part — the hash
+// joins materializing a lattice node's answers — fans out:
+//
+//   - W workers, each a forked exec.Evaluator sharing the memoized results
+//     but owning its own row arenas, evaluate dispatched nodes concurrently;
+//   - the coordinator speculatively dispatches the frontier candidates with
+//     the highest current upper bounds (the nodes the sequential loop would
+//     most likely pop next) whenever workers are idle;
+//   - results are consumed strictly in the control loop's pop order: a
+//     speculative result is held until (unless) its node is actually popped,
+//     and speculation that pruning invalidates is discarded.
+//
+// Determinism: consumed results are a function of the node alone (see
+// exec.Evaluate — the answer set and the row-budget verdict do not depend on
+// memo timing, and row order within a node never affects scores, tie-breaks,
+// or counters), and every adaptive decision runs on the coordinator in the
+// sequential order. The Result — answers, scores, tie-breaks, Stopped, and
+// all counters — is therefore bit-identical to Parallelism=1; the oracle
+// tests in parallel_test.go sweep W∈{1,2,8} to enforce exactly that.
+
+package topk
+
+import (
+	"sync"
+
+	"gqbe/internal/exec"
+	"gqbe/internal/lattice"
+)
+
+// evalResult is one worker's completed evaluation.
+type evalResult struct {
+	q    lattice.EdgeSet
+	rows *exec.Rows
+	err  error
+}
+
+// runParallel runs the Alg. 2 loop with `workers` concurrent lattice-node
+// evaluators feeding it. Errors from speculative evaluations surface only if
+// their node is actually consumed — a node the sequential search would never
+// evaluate cannot fail a parallel search (cancellation excepted: the loop's
+// own ctx check aborts everything).
+func (s *searcher) runParallel(workers int) (*Result, error) {
+	// Buffers are sized so nothing ever blocks the wrong side: at most
+	// `workers` jobs are outstanding (dispatch is capped on in-flight count),
+	// so every worker send fits the results buffer even if the coordinator
+	// has already returned.
+	jobs := make(chan lattice.EdgeSet, workers)
+	results := make(chan evalResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wev := s.ev.Fork(s.ctx)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range jobs {
+				rows, err := wev.Evaluate(q)
+				results <- evalResult{q: q, rows: rows, err: err}
+			}
+		}()
+	}
+	// Tear down on every exit path: closing jobs lets workers drain; the
+	// Wait ensures no goroutine outlives the search (a canceled search must
+	// not leak evaluations into a recycled arena pool's future).
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	inflight := make(map[lattice.EdgeSet]bool)
+	ready := make(map[lattice.EdgeSet]evalResult)
+
+	dispatch := func(q lattice.EdgeSet) {
+		inflight[q] = true
+		jobs <- q
+	}
+	recv := func() {
+		r := <-results
+		delete(inflight, r.q)
+		ready[r.q] = r
+	}
+	// speculate fills idle workers with the live frontier candidates ranked
+	// highest by the heap's own order. It runs once per received result, so
+	// it must stay cheap on large frontiers: one linear scan keeping a
+	// top-`free` set (free <= workers) in a reused scratch buffer — no full
+	// sort, no per-call allocation — and it ranks by the entries' possibly
+	// stale cached bounds rather than recomputing U(Q) per entry. Stale
+	// bounds only ever overestimate (the upper frontier shrinks), so at
+	// worst a less-promising node is speculated; which nodes get speculated
+	// affects only wasted work, never results.
+	var best []lfEntry // scratch, reused across calls
+	speculate := func() {
+		free := workers - len(inflight)
+		if free <= 0 {
+			return
+		}
+		better := func(a, b lfEntry) bool {
+			if a.ub != b.ub {
+				return a.ub > b.ub
+			}
+			if a.own != b.own {
+				return a.own < b.own
+			}
+			return a.q < b.q
+		}
+		best = best[:0]
+		for _, e := range s.lf {
+			if len(best) == free && !better(e, best[len(best)-1]) {
+				continue // cheap reject before the map/prune probes
+			}
+			if !s.inLF[e.q] || inflight[e.q] || s.pruned(e.q) {
+				continue
+			}
+			if _, done := ready[e.q]; done {
+				continue // already speculated and finished, awaiting its pop
+			}
+			// Insertion into the small ordered top set (free <= workers).
+			i := len(best)
+			if i < free {
+				best = append(best, e)
+			} else {
+				i--
+			}
+			for ; i > 0 && better(e, best[i-1]); i-- {
+				best[i] = best[i-1]
+			}
+			best[i] = e
+		}
+		for _, e := range best {
+			dispatch(e.q)
+		}
+	}
+	// obtain yields qbest's evaluation, blocking on workers as needed while
+	// keeping them fed with speculation. It is the `evaluate` hook of the
+	// shared control loop, so consumption order is exactly the pop order.
+	obtain := func(qbest lattice.EdgeSet) (*exec.Rows, error) {
+		for {
+			if r, ok := ready[qbest]; ok {
+				delete(ready, qbest)
+				return r.rows, r.err
+			}
+			if !inflight[qbest] {
+				if len(inflight) >= workers {
+					// Every worker is busy with speculation; absorb one
+					// completion to free a slot for the node we actually need.
+					recv()
+					continue
+				}
+				dispatch(qbest)
+			}
+			speculate()
+			recv()
+		}
+	}
+	return s.run(obtain)
+}

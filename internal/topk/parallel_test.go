@@ -1,0 +1,159 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gqbe/internal/graph"
+	"gqbe/internal/lattice"
+	"gqbe/internal/storage"
+)
+
+// searchWorkerSweep is the oracle's W axis: 1 is the sequential loop the
+// paper describes, 2 and 8 exercise under- and over-subscribed fan-out on
+// any hardware (8 workers on a single core is pure coordination stress).
+var searchWorkerSweep = []int{2, 8}
+
+// checkParallelOracle runs the sequential search and the W-sweep on one
+// (store, lattice, exclude, opts) case and requires every Result to be
+// deeply identical — answers, scores, tie-break order, BestGraph, Stopped,
+// and all counters. This is the bit-identical guarantee Options.Parallelism
+// advertises.
+func checkParallelOracle(t *testing.T, name string, store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) {
+	t.Helper()
+	opts.Parallelism = 1
+	want, err := Search(store, lat, exclude, opts)
+	if err != nil {
+		t.Fatalf("%s: sequential search: %v", name, err)
+	}
+	for _, w := range searchWorkerSweep {
+		opts.Parallelism = w
+		got, err := Search(store, lat, exclude, opts)
+		if err != nil {
+			t.Fatalf("%s: W=%d search: %v", name, w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: W=%d Result differs from sequential:\n seq: %+v\n par: %+v", name, w, want, got)
+		}
+	}
+}
+
+func TestParallelSearchOracleFig1(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tuple []string
+		opts  Options
+	}{
+		{"default-k", []string{"Jerry Yang", "Yahoo!"}, Options{K: 10}},
+		{"exhaustive", []string{"Jerry Yang", "Yahoo!"}, Options{K: 1000, KPrime: 1000}},
+		{"tiny-kprime", []string{"Jerry Yang", "Yahoo!"}, Options{K: 1, KPrime: 1}},
+		{"max-evaluations", []string{"Jerry Yang", "Yahoo!"}, Options{K: 1000, KPrime: 1000, MaxEvaluations: 3}},
+		{"row-budget", []string{"Jerry Yang", "Yahoo!"}, Options{K: 10, MaxRows: 8}},
+		{"single-entity", []string{"Stanford"}, Options{K: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, store, lat, exclude := pipeline(t, tc.tuple...)
+			checkParallelOracle(t, tc.name, store, lat, exclude, tc.opts)
+		})
+	}
+}
+
+// TestParallelSearchOracleKGSynth is the realistic-graph half of the oracle:
+// the kgsynth Freebase-like graph (seed 42, the repo's benchmark graph) with
+// the two workload queries the engine microbenches run. F18's lattice is
+// large enough that the parallel coordinator's speculation, pruning
+// interplay, and Theorem-4 cut all actually fire.
+func TestParallelSearchOracleKGSynth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kgsynth graph build in -short mode")
+	}
+	kgFixture()
+	for _, id := range benchQuery {
+		t.Run(id, func(t *testing.T) {
+			checkParallelOracle(t, id, benchSt, benchLats[id],
+				[][]graph.NodeID{benchTups[id]}, Options{K: 25})
+		})
+	}
+}
+
+// TestParallelSearchRowBudgetSkips forces the row budget low enough that
+// lattice nodes are skipped and checks the skip accounting still matches the
+// sequential search exactly (skips are counted only for consumed nodes, so
+// wasted speculation must not inflate them).
+func TestParallelSearchRowBudgetSkips(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	opts := Options{K: 1000, KPrime: 1000, MaxRows: 6, Parallelism: 1}
+	want, err := Search(store, lat, exclude, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.RowBudgetSkips == 0 {
+		t.Fatalf("fixture too small: no row-budget skips at MaxRows=%d", opts.MaxRows)
+	}
+	for _, w := range searchWorkerSweep {
+		opts.Parallelism = w
+		got, err := Search(store, lat, exclude, opts)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if got.RowBudgetSkips != want.RowBudgetSkips {
+			t.Errorf("W=%d: RowBudgetSkips = %d, sequential %d", w, got.RowBudgetSkips, want.RowBudgetSkips)
+		}
+	}
+}
+
+func TestParallelSearchCanceled(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range append([]int{1}, searchWorkerSweep...) {
+		res, err := SearchCtx(ctx, store, lat, exclude, Options{K: 10, Parallelism: w})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("W=%d: err = %v, want context.Canceled", w, err)
+		}
+		if res != nil {
+			t.Errorf("W=%d: canceled search returned a partial result", w)
+		}
+	}
+}
+
+// TestParallelOptionsFill pins the Parallelism defaulting rules the serving
+// layer's cache-key exclusion relies on.
+func TestParallelOptionsFill(t *testing.T) {
+	o := Options{}
+	o.Fill()
+	if o.Parallelism != 1 {
+		t.Errorf("zero Parallelism filled to %d, want 1 (sequential)", o.Parallelism)
+	}
+	o = Options{Parallelism: -1}
+	o.Fill()
+	if o.Parallelism < 1 {
+		t.Errorf("negative Parallelism filled to %d, want GOMAXPROCS", o.Parallelism)
+	}
+	for _, w := range []int{1, 2, 8} {
+		o = Options{Parallelism: w}
+		o.Fill()
+		if o.Parallelism != w {
+			t.Errorf("Parallelism %d changed to %d by Fill", w, o.Parallelism)
+		}
+	}
+}
+
+// TestParallelSearchManyOptionCombos sweeps K/KPrime interactions on Fig. 1
+// where the Theorem-4 cut fires at different depths, so the coordinator's
+// termination decisions are exercised at several frontier shapes.
+func TestParallelSearchManyOptionCombos(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	for _, k := range []int{1, 3, 10} {
+		for _, kp := range []int{1, 5, 50} {
+			if kp < k {
+				continue
+			}
+			name := fmt.Sprintf("k%d-kp%d", k, kp)
+			checkParallelOracle(t, name, store, lat, exclude, Options{K: k, KPrime: kp})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -34,6 +35,14 @@ type Options struct {
 	// MaxEvaluations caps evaluated lattice nodes as a safety valve;
 	// 0 means no cap.
 	MaxEvaluations int
+	// Parallelism is the number of concurrent lattice-node evaluators the
+	// search runs (0 or 1 is the sequential loop; negative selects
+	// GOMAXPROCS). The ranked answers, scores, tie-breaks, and every Result
+	// counter are bit-identical at any setting — parallelism is purely a
+	// latency/throughput knob (see parallel.go) — so it is excluded from
+	// result-cache keys. Each worker evaluates one lattice node at a time,
+	// each up to the MaxRows budget, so peak join memory scales with it.
+	Parallelism int
 }
 
 // Fill makes the default option values explicit in place. Exported so
@@ -51,6 +60,12 @@ func (o *Options) Fill() {
 	}
 	if o.MaxRows <= 0 {
 		o.MaxRows = exec.DefaultMaxRows
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
 	}
 }
 
@@ -160,11 +175,20 @@ func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, 
 	for _, q := range lat.MinimalTrees() {
 		s.pushLF(q)
 	}
-	res, err := s.run()
+	var res *Result
+	var err error
+	if opts.Parallelism > 1 {
+		res, err = s.runParallel(opts.Parallelism)
+	} else {
+		res, err = s.run(ev.Evaluate)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res.NodesEvaluated = ev.Evaluated()
+	// The coordinator's own consumption counter, not ev.Evaluated(): under
+	// parallel speculation the evaluator also counts wasted evaluations,
+	// while consumed is exactly the sequential loop's pop count.
+	res.NodesEvaluated = s.consumed
 	return res, nil
 }
 
@@ -226,6 +250,12 @@ type searcher struct {
 	// tupleBuf is the scratch buffer row tuples are projected into; reusing
 	// it keeps the absorb/exclusion loops allocation-free.
 	tupleBuf []graph.NodeID
+
+	// consumed counts the lattice nodes the control loop consumed, in pop
+	// order — the sequential search's evaluation count. The parallel search
+	// reports this too (not the evaluator's counter, which includes wasted
+	// speculation), keeping Result identical at any Parallelism.
+	consumed int
 
 	// kth-best cache for the Theorem-4 test.
 	kthDirty bool
@@ -320,13 +350,20 @@ func (s *searcher) kthBestSScore() (float64, bool) {
 	return s.kthVal, true
 }
 
-func (s *searcher) run() (*Result, error) {
+// run is the Alg. 2 control loop. evaluate supplies a lattice node's rows:
+// the sequential search passes the evaluator's Evaluate directly, the
+// parallel search passes an obtain function that consumes speculative worker
+// results in this loop's pop order (see parallel.go). Everything that makes
+// the search adaptive — pruning, upper-frontier recomputation, the Theorem-4
+// test — lives here and runs single-threaded either way, which is why the
+// two modes return bit-identical Results.
+func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Result, error) {
 	res := &Result{Stopped: StopExhausted}
 	for {
 		if err := s.ctx.Err(); err != nil {
 			return nil, fmt.Errorf("topk: search canceled: %w", err)
 		}
-		if s.opts.MaxEvaluations > 0 && s.ev.Evaluated() >= s.opts.MaxEvaluations {
+		if s.opts.MaxEvaluations > 0 && s.consumed >= s.opts.MaxEvaluations {
 			res.Stopped = StopMaxEvaluations
 			break
 		}
@@ -345,7 +382,8 @@ func (s *searcher) run() (*Result, error) {
 			break
 		}
 		s.done[qbest] = true
-		rows, err := s.ev.Evaluate(qbest)
+		s.consumed++
+		rows, err := evaluate(qbest)
 		if err != nil {
 			if errors.Is(err, exec.ErrTooManyRows) {
 				// Join blow-up on this query graph (the paper's F4/F19

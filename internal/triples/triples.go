@@ -36,10 +36,12 @@ type ParseError struct {
 	Err  error
 }
 
+// Error formats the failure with line number, cause, and offending text.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("triples: line %d: %v: %q", e.Line, e.Err, e.Text)
 }
 
+// Unwrap exposes the underlying cause to errors.Is/As.
 func (e *ParseError) Unwrap() error { return e.Err }
 
 var errFieldCount = fmt.Errorf("expected 3 tab-separated fields")
