@@ -6,7 +6,7 @@
 //
 //	gqbed -graph kg.tsv [-addr :8080] [-max-concurrent 8] [-cache-entries 1024]
 //	      [-build-shards 0] [-snapshot kg.snap] [-snapshot-write]
-//	      [-search-workers 1]
+//	      [-search-workers 1] [-trace] [-slow-query-ms 0]
 //
 // The complete flag reference and the /statz field glossary live in
 // docs/OPERATIONS.md.
@@ -22,9 +22,12 @@
 //	POST /v1/query          {"tuple":["Jerry Yang","Yahoo!"],"k":10,"timeout_ms":500}
 //	                        {"tuples":[["Jerry Yang","Yahoo!"],["Sergey Brin","Google"]]}
 //	POST /v1/query:batch    {"queries":[{"tuple":[...]},...]} — per-item results/errors
+//	POST /v1/query:explain  one query's full breakdown: span tree, MQG,
+//	                        lattice summary, per-node evaluation table
 //	GET  /v1/entity/{name}  entity existence check
 //	GET  /healthz           liveness + graph shape
 //	GET  /statz             serving metrics (QPS, latency percentiles, cache)
+//	GET  /metrics           Prometheus text exposition (counters + histograms)
 //
 // The daemon sheds load with 429 once all workers are busy, answers repeated
 // queries from an LRU result cache, coalesces concurrent identical queries
@@ -33,6 +36,11 @@
 // exploration across N concurrent evaluators (identical answers, lower
 // per-query latency; peak join memory scales with it).
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Observability: -slow-query-ms N logs a structured record (with the full
+// per-stage span breakdown) for every request slower than N milliseconds;
+// -trace traces every query and logs each at debug level. Both feed the same
+// span machinery /v1/query:explain uses; neither changes any answer.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -68,6 +77,8 @@ func main() {
 		batchConc     = flag.Int("batch-concurrency", 4, "max engine searches one batch runs at once (capped at -max-concurrent)")
 		searchWorkers = flag.Int("search-workers", 1, "concurrent lattice-node evaluators per search (1 = sequential, negative = GOMAXPROCS); answers are identical at any setting, but peak join memory scales with -max-concurrent × this")
 		pprofAddr     = flag.String("pprof-addr", "", "optional address (e.g. 127.0.0.1:6060) serving net/http/pprof on a separate listener; empty disables")
+		trace         = flag.Bool("trace", false, "trace every query (span tree + node evaluations) and log each at debug level; answers are unchanged")
+		slowQueryMS   = flag.Int("slow-query-ms", 0, "log a structured slow-query record (full span breakdown) for requests slower than this many milliseconds; 0 disables")
 
 		buildShards   = flag.Int("build-shards", 0, "concurrent workers for the offline store build (0 = GOMAXPROCS, 1 = sequential)")
 		snapshotPath  = flag.String("snapshot", "", "binary engine snapshot path: loaded instead of -graph when it exists")
@@ -98,6 +109,14 @@ func main() {
 	log.Printf("gqbed: %d entities, %d facts, %d predicates %s in %v",
 		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), how, info.BuildTime.Round(time.Millisecond))
 
+	// The structured logger feeds slow-query and trace records; -trace drops
+	// the level to debug so per-query records are visible.
+	logLevel := slog.LevelInfo
+	if *trace {
+		logLevel = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
 	cfg := server.Config{
 		MaxConcurrent:       *maxConcurrent,
 		MaxQueueWait:        *queueWait,
@@ -109,6 +128,9 @@ func main() {
 		MaxBatchItems:       *batchItems,
 		MaxBatchConcurrency: *batchConc,
 		SearchWorkers:       *searchWorkers,
+		Trace:               *trace,
+		SlowQuery:           time.Duration(*slowQueryMS) * time.Millisecond,
+		Logger:              logger,
 	}.WithDefaults()
 	srv := server.New(eng, cfg)
 	httpSrv := &http.Server{

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP gqbe_requests_total Query requests received.
+# TYPE gqbe_requests_total counter
+gqbe_requests_total 3
+# HELP gqbe_query_outcomes_total Outcomes.
+# TYPE gqbe_query_outcomes_total counter
+gqbe_query_outcomes_total{outcome="served"} 2
+gqbe_query_outcomes_total{outcome="errored"} 1
+# HELP gqbe_search_latency_seconds Search time.
+# TYPE gqbe_search_latency_seconds histogram
+gqbe_search_latency_seconds_bucket{le="0.001"} 1
+gqbe_search_latency_seconds_bucket{le="0.1"} 2
+gqbe_search_latency_seconds_bucket{le="+Inf"} 2
+gqbe_search_latency_seconds_sum 0.05
+gqbe_search_latency_seconds_count 2
+`
+
+func TestLintMetricsClean(t *testing.T) {
+	if fs := lintMetrics(strings.NewReader(goodExposition)); len(fs) != 0 {
+		t.Fatalf("findings on a clean exposition: %v", fs)
+	}
+}
+
+func TestLintMetricsViolations(t *testing.T) {
+	cases := map[string]struct {
+		body string
+		want string
+	}{
+		"no samples": {
+			body: "# HELP x y\n# TYPE x counter\n",
+			want: "no samples",
+		},
+		"undeclared family": {
+			body: "orphan_total 1\n",
+			want: "no # TYPE declaration",
+		},
+		"unknown type": {
+			body: "# TYPE x widget\nx 1\n",
+			want: "unknown metric type",
+		},
+		"unparseable value": {
+			body: "# TYPE x counter\nx banana\n",
+			want: "unparseable value",
+		},
+		"non-monotone buckets": {
+			body: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			want: "cumulative count decreases",
+		},
+		"missing +Inf": {
+			body: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n",
+			want: "want le=\"+Inf\"",
+		},
+		"count mismatch": {
+			body: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+			want: "_count 5 != +Inf bucket 2",
+		},
+		"missing sum": {
+			body: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			want: "_sum",
+		},
+		"bounds not increasing": {
+			body: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			want: "bounds not increasing",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			fs := lintMetrics(strings.NewReader(tc.body))
+			found := false
+			for _, f := range fs {
+				if strings.Contains(f, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("findings %v do not mention %q", fs, tc.want)
+			}
+		})
+	}
+}
+
+const goodExplain = `{
+  "request_id": "ab-000001",
+  "answers": [{"entities": ["Jerry Yang", "Yahoo!"], "score": 1.0}],
+  "stats": {"nodes_evaluated": 2, "mqg_edges": 3},
+  "lattice": {"generated": 4, "evaluated": 2, "pruned": 1, "null": 0,
+              "frontier_recomputations": 0, "stop_reason": "topk-proven"},
+  "node_evals": [{"edges": [0, 1], "rows": 3, "eval_us": 10},
+                 {"edges": [0], "rows": 1, "eval_us": 4}],
+  "trace": {"name": "query", "duration_us": 1200, "children": []},
+  "serving": {"queue_wait_ms": 0.01, "workers": 1, "timeout_ms": 10000}
+}`
+
+func TestLintExplainClean(t *testing.T) {
+	if fs := lintExplain([]byte(goodExplain)); len(fs) != 0 {
+		t.Fatalf("findings on a clean explain: %v", fs)
+	}
+}
+
+func TestLintExplainViolations(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(string) string
+		want   string
+	}{
+		"not JSON": {
+			mutate: func(s string) string { return s[1:] },
+			want:   "not valid JSON",
+		},
+		"missing request_id": {
+			mutate: func(s string) string { return strings.Replace(s, `"request_id"`, `"request_idx"`, 1) },
+			want:   "missing request_id",
+		},
+		"eval count mismatch": {
+			mutate: func(s string) string { return strings.Replace(s, `"nodes_evaluated": 2`, `"nodes_evaluated": 7`, 1) },
+			want:   "node_evals",
+		},
+		"wrong trace root": {
+			mutate: func(s string) string { return strings.Replace(s, `"name": "query"`, `"name": "nope"`, 1) },
+			want:   "trace root",
+		},
+		"generated below evaluated": {
+			mutate: func(s string) string { return strings.Replace(s, `"generated": 4`, `"generated": 1`, 1) },
+			want:   "generated",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			fs := lintExplain([]byte(tc.mutate(goodExplain)))
+			found := false
+			for _, f := range fs {
+				if strings.Contains(f, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("findings %v do not mention %q", fs, tc.want)
+			}
+		})
+	}
+}

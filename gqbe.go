@@ -71,6 +71,12 @@ type Options struct {
 	// peak join memory scales with it: each worker materializes up to
 	// MaxRows rows at once.
 	Parallelism int
+	// Tracer, when non-nil, records the query's per-stage span tree and the
+	// search's per-node evaluation table (see NewTracer), and populates
+	// Result.MQG. Tracing never changes answers or Stats, and it is
+	// excluded from Normalized — a traced query has the same cache identity
+	// as an untraced one.
+	Tracer *Tracer
 }
 
 // Normalized returns a copy of o with the engine's defaults made explicit —
@@ -102,6 +108,7 @@ func (o *Options) toCore() core.Options {
 		MaxRows:        o.MaxRows,
 		MaxEvaluations: o.MaxEvaluations,
 		Parallelism:    o.Parallelism,
+		Tracer:         o.Tracer,
 	}
 }
 
@@ -127,10 +134,23 @@ type Stats struct {
 	MQGEdges int
 	// NodesEvaluated is the number of lattice query graphs evaluated.
 	NodesEvaluated int
+	// NullNodes is the number of evaluated query graphs with no answers
+	// (each one triggers the lattice pruning of Alg. 3).
+	NullNodes int
+	// NodesGenerated is the number of distinct lattice nodes the search
+	// ever admitted as candidates.
+	NodesGenerated int
+	// NodesPruned is the number of candidates discarded unevaluated because
+	// a null node subsumed them.
+	NodesPruned int
+	// FrontierRecomputes is the number of upper-frontier recomputations
+	// (Alg. 3) the search performed.
+	FrontierRecomputes int
 	// Stopped says why the lattice search returned: "topk-proven" (the
 	// top-k answers were provably final), "frontier-exhausted" (the whole
-	// reachable lattice was explored), or "max-evaluations" (the
-	// MaxEvaluations safety valve fired).
+	// reachable lattice was explored), "max-evaluations" (the
+	// MaxEvaluations safety valve fired), or — for interrupted queries that
+	// still produced a partial result — "deadline" or "canceled".
 	Stopped string
 	// Terminated reports whether the top-k proof stopped the search early.
 	Terminated bool
@@ -140,6 +160,10 @@ type Stats struct {
 type Result struct {
 	Answers []Answer
 	Stats   Stats
+	// MQG is a display rendering of the derived maximal query graph.
+	// Populated only for traced queries (Options.Tracer non-nil); untraced
+	// serving-path queries skip the rendering cost.
+	MQG *MQGInfo
 }
 
 // Engine answers query-by-example queries over one immutable knowledge
@@ -319,17 +343,24 @@ func (e *Engine) Query(entities []string, opts *Options) (*Result, error) {
 // discovery, lattice construction, and the best-first search with its hash
 // joins — observes ctx, so callers can bound a query with a deadline or
 // cancel a runaway search; the query then fails with an error wrapping
-// ctx.Err() (context.DeadlineExceeded or context.Canceled).
+// ctx.Err() (context.DeadlineExceeded or context.Canceled). When the
+// interruption strikes inside the lattice search, the error is accompanied
+// by a non-nil partial Result — the answers found so far, with Stats.Stopped
+// set to "deadline" or "canceled" — so anytime consumers can use both.
 func (e *Engine) QueryCtx(ctx context.Context, entities []string, opts *Options) (*Result, error) {
 	tuple, err := e.resolve(entities)
 	if err != nil {
 		return nil, err
 	}
 	res, err := e.eng.QueryCtx(ctx, tuple, opts.toCore())
-	if err != nil {
+	if res == nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
-	return e.wrap(res), nil
+	out := e.wrap(res, opts != nil && opts.Tracer != nil)
+	if err != nil {
+		return out, fmt.Errorf("gqbe: %w", err)
+	}
+	return out, nil
 }
 
 // QueryMulti answers a multi-tuple query: all example tuples (same arity)
@@ -354,10 +385,14 @@ func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]string, opts *Opt
 		resolved[i] = tuple
 	}
 	res, err := e.eng.QueryMultiCtx(ctx, resolved, opts.toCore())
-	if err != nil {
+	if res == nil {
 		return nil, fmt.Errorf("gqbe: %w", err)
 	}
-	return e.wrap(res), nil
+	out := e.wrap(res, opts != nil && opts.Tracer != nil)
+	if err != nil {
+		return out, fmt.Errorf("gqbe: %w", err)
+	}
+	return out, nil
 }
 
 func (e *Engine) resolve(entities []string) ([]graph.NodeID, error) {
@@ -375,19 +410,26 @@ func (e *Engine) resolve(entities []string) ([]graph.NodeID, error) {
 	return tuple, nil
 }
 
-func (e *Engine) wrap(res *core.Result) *Result {
+func (e *Engine) wrap(res *core.Result, withMQG bool) *Result {
 	out := &Result{
 		Stats: Stats{
-			Discovery:      res.Stats.Discovery,
-			Merge:          res.Stats.Merge,
-			Processing:     res.Stats.Processing,
-			MQGEdges:       res.Stats.MQGEdges,
-			NodesEvaluated: res.Stats.NodesEvaluated,
-			Stopped:        string(res.Stats.Stopped),
+			Discovery:          res.Stats.Discovery,
+			Merge:              res.Stats.Merge,
+			Processing:         res.Stats.Processing,
+			MQGEdges:           res.Stats.MQGEdges,
+			NodesEvaluated:     res.Stats.NodesEvaluated,
+			NullNodes:          res.Stats.NullNodes,
+			NodesGenerated:     res.Stats.NodesGenerated,
+			NodesPruned:        res.Stats.NodesPruned,
+			FrontierRecomputes: res.Stats.FrontierRecomputes,
+			Stopped:            string(res.Stats.Stopped),
 			// Terminated is derived here, once: the engine layers carry only
 			// the Stopped reason.
 			Terminated: res.Stats.Stopped == topk.StopProven,
 		},
+	}
+	if withMQG && res.MQG != nil {
+		out.MQG = e.mqgInfo(res.MQG)
 	}
 	for _, a := range res.Answers {
 		out.Answers = append(out.Answers, Answer{Entities: e.eng.AnswerNames(a), Score: a.Score})

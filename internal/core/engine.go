@@ -17,6 +17,7 @@ import (
 	"gqbe/internal/lattice"
 	"gqbe/internal/mqg"
 	"gqbe/internal/neighborhood"
+	"gqbe/internal/obs"
 	"gqbe/internal/stats"
 	"gqbe/internal/storage"
 	"gqbe/internal/topk"
@@ -41,6 +42,12 @@ type Options struct {
 	// bit-identical at any setting; peak join memory scales with it. See
 	// topk.Options.Parallelism.
 	Parallelism int
+	// Tracer, when non-nil, records per-stage spans (discovery,
+	// neighborhood, MQG discovery/merge, lattice build, search) and the
+	// per-pop node-evaluation table into the query's trace. Purely
+	// observational — results are identical with tracing on or off — and
+	// excluded from Normalize, so it never leaks into cache keys.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -66,6 +73,7 @@ func (o Options) Normalize() Options {
 	o.KPrime = t.KPrime
 	o.MaxRows = t.MaxRows
 	o.Parallelism = t.Parallelism
+	o.Tracer = nil // observational only; never part of the plan identity
 	return o
 }
 
@@ -82,10 +90,14 @@ type Stats struct {
 	Processing time.Duration
 	// MQGEdges is the edge cardinality of the (merged) MQG.
 	MQGEdges int
-	// NodesEvaluated / NullNodes / Stopped mirror topk.Result.
-	NodesEvaluated int
-	NullNodes      int
-	Stopped        topk.StopReason
+	// NodesEvaluated / NullNodes / Stopped — and the lattice-shape counters
+	// NodesGenerated / NodesPruned / FrontierRecomputes — mirror topk.Result.
+	NodesEvaluated     int
+	NullNodes          int
+	NodesGenerated     int
+	NodesPruned        int
+	FrontierRecomputes int
+	Stopped            topk.StopReason
 }
 
 // Result is a ranked answer list plus its query statistics.
@@ -185,7 +197,10 @@ func (e *Engine) DiscoverMQG(tuple []graph.NodeID, opts Options) (*mqg.MQG, erro
 // the discovery phases.
 func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
 	opts.fill()
+	tr := opts.Tracer
+	nsp := tr.Start("neighborhood")
 	nres, err := neighborhood.ExtractCtx(ctx, e.g, tuple, opts.Depth)
+	nsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -193,10 +208,14 @@ func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts 
 	// concurrent serving reuses a few tables instead of allocating
 	// two NumNodes-sized arrays per query.
 	defer nres.Release()
+	msp := tr.Start("mqg.discover")
 	m, err := mqg.DiscoverCtx(ctx, e.stats, nres.Reduced, tuple, opts.MQGSize)
 	if err != nil {
+		msp.End()
 		return nil, err
 	}
+	msp.SetAttr("mqg_edges", int64(len(m.Sub.Edges)))
+	msp.End()
 	return m, nil
 }
 
@@ -213,21 +232,25 @@ func (e *Engine) Query(tuple []graph.NodeID, opts Options) (*Result, error) {
 // QueryCtx is Query under a cancellation context: every pipeline phase —
 // discovery, lattice construction, and the best-first search with its hash
 // joins — observes ctx, so a canceled or expired context aborts the query
-// promptly with the context's error.
+// promptly with the context's error. An interruption that strikes inside the
+// search loop returns the partial Result alongside the error (its
+// Stats.Stopped carries the deadline/canceled disposition); earlier phases
+// have no partial state, so they return a nil Result as before.
 func (e *Engine) QueryCtx(ctx context.Context, tuple []graph.NodeID, opts Options) (*Result, error) {
 	opts.fill()
 	start := time.Now()
+	dsp := opts.Tracer.Start("discovery")
 	m, err := e.DiscoverMQGCtx(ctx, tuple, opts)
+	dsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: query graph discovery: %w", err)
 	}
 	discovery := time.Since(start)
 	res, err := e.searchMQG(ctx, m, [][]graph.NodeID{tuple}, opts)
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Stats.Discovery = discovery
 	}
-	res.Stats.Discovery = discovery
-	return res, nil
+	return res, err
 }
 
 // QueryMulti answers a multi-tuple query (§III-D): individual MQGs are
@@ -248,9 +271,12 @@ func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]graph.NodeID, opt
 	}
 	var discovery time.Duration
 	mqgs := make([]*mqg.MQG, 0, len(tuples))
-	for _, t := range tuples {
+	for i, t := range tuples {
 		start := time.Now()
+		dsp := opts.Tracer.Start("discovery")
+		dsp.SetAttr("tuple", int64(i))
 		m, err := e.DiscoverMQGCtx(ctx, t, opts)
+		dsp.End()
 		discovery += time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("core: query graph discovery: %w", err)
@@ -258,48 +284,67 @@ func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]graph.NodeID, opt
 		mqgs = append(mqgs, m)
 	}
 	start := time.Now()
+	msp := opts.Tracer.Start("mqg.merge")
 	merged, err := mqg.MergeCtx(ctx, mqgs, opts.MQGSize)
+	msp.End()
 	mergeTime := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("core: merging MQGs: %w", err)
 	}
 	res, err := e.searchMQG(ctx, merged, tuples, opts)
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Stats.Discovery = discovery
+		res.Stats.Merge = mergeTime
 	}
-	res.Stats.Discovery = discovery
-	res.Stats.Merge = mergeTime
-	return res, nil
+	return res, err
 }
 
-// searchMQG builds the lattice and runs the best-first search.
+// searchMQG builds the lattice and runs the best-first search. A search
+// interrupted by ctx returns its partial Result together with the wrapped
+// error (see topk.SearchCtx).
 func (e *Engine) searchMQG(ctx context.Context, m *mqg.MQG, exclude [][]graph.NodeID, opts Options) (*Result, error) {
+	tr := opts.Tracer
+	lsp := tr.Start("lattice.build")
 	lat, err := lattice.NewCtx(ctx, m)
 	if err != nil {
+		lsp.End()
 		return nil, fmt.Errorf("core: building query lattice: %w", err)
 	}
+	lsp.SetAttr("mqg_edges", int64(len(m.Sub.Edges)))
+	lsp.SetAttr("minimal_trees", int64(len(lat.MinimalTrees())))
+	lsp.End()
 	start := time.Now()
+	ssp := tr.Start("search")
 	tres, err := topk.SearchCtx(ctx, e.store, lat, exclude, topk.Options{
 		K:              opts.K,
 		KPrime:         opts.KPrime,
 		MaxRows:        opts.MaxRows,
 		MaxEvaluations: opts.MaxEvaluations,
 		Parallelism:    opts.Parallelism,
+		Tracer:         tr,
 	})
-	if err != nil {
+	ssp.End()
+	if tres == nil {
 		return nil, fmt.Errorf("core: lattice search: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Answers: tres.Answers,
 		MQG:     m,
 		Stats: Stats{
-			Processing:     time.Since(start),
-			MQGEdges:       len(m.Sub.Edges),
-			NodesEvaluated: tres.NodesEvaluated,
-			NullNodes:      tres.NullNodes,
-			Stopped:        tres.Stopped,
+			Processing:         time.Since(start),
+			MQGEdges:           len(m.Sub.Edges),
+			NodesEvaluated:     tres.NodesEvaluated,
+			NullNodes:          tres.NullNodes,
+			NodesGenerated:     tres.NodesGenerated,
+			NodesPruned:        tres.NodesPruned,
+			FrontierRecomputes: tres.FrontierRecomputes,
+			Stopped:            tres.Stopped,
 		},
-	}, nil
+	}
+	if err != nil {
+		return res, fmt.Errorf("core: lattice search: %w", err)
+	}
+	return res, nil
 }
 
 // AnswerNames renders an answer tuple as entity names.

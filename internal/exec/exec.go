@@ -80,6 +80,12 @@ type memo struct {
 	mu        sync.Mutex
 	results   map[lattice.EdgeSet]*Rows
 	evaluated int
+	// Join-strategy traffic, for trace attrs: memo hits, one-edge
+	// incremental joins, and from-scratch evaluations. Mutated only under
+	// mu on paths that already hold it, so recording is free.
+	memoHits    int
+	incremental int
+	scratch     int
 }
 
 // Evaluator evaluates lattice nodes over one store, memoizing results. A
@@ -225,6 +231,15 @@ func (ev *Evaluator) Evaluated() int {
 	return ev.memo.evaluated
 }
 
+// Counters reports the memo traffic across this evaluator and its forks:
+// total evaluations, memo hits, one-edge incremental joins, and from-scratch
+// evaluations. The trace layer attaches these to the search span.
+func (ev *Evaluator) Counters() (evaluated, memoHits, incremental, scratch int) {
+	ev.memo.mu.Lock()
+	defer ev.memo.mu.Unlock()
+	return ev.memo.evaluated, ev.memo.memoHits, ev.memo.incremental, ev.memo.scratch
+}
+
 // Rows returns the materialized answers of q, if it has been evaluated.
 func (ev *Evaluator) Rows(q lattice.EdgeSet) (*Rows, bool) {
 	ev.memo.mu.Lock()
@@ -290,6 +305,7 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 	var childRows *Rows
 	ev.memo.mu.Lock()
 	if rows, ok := ev.memo.results[q]; ok {
+		ev.memo.memoHits++
 		ev.memo.mu.Unlock()
 		return rows, nil
 	}
@@ -305,6 +321,11 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 			childEdge, childRows = i, rows
 			break
 		}
+	}
+	if childEdge >= 0 {
+		ev.memo.incremental++
+	} else {
+		ev.memo.scratch++
 	}
 	ev.memo.mu.Unlock()
 

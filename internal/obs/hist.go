@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the fixed bucket layout the server's latency
+// histograms use: 500µs to 60s, roughly logarithmic, matching the range a
+// single query can plausibly occupy (sub-millisecond cache hits through the
+// 30s client timeout cap).
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe/Snapshot. Buckets are per-bucket atomic counters (cumulated only
+// at snapshot time), so Observe is two atomic adds plus a binary search —
+// cheap enough for every request. Quantiles come from Snapshot with the
+// same linear-interpolation semantics as Prometheus histogram_quantile,
+// which is what lets /statz keep serving p50/p90/p99 after the ring buffer's
+// exact quantiles were replaced.
+type Histogram struct {
+	bounds []float64       // upper bounds in seconds, strictly increasing
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    atomic.Int64    // total observed nanoseconds
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds,
+// strictly increasing). The bounds slice is copied. Panics on an empty or
+// unsorted layout — bucket layouts are compile-time decisions, not inputs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := sort.SearchFloat64s(h.bounds, d.Seconds())
+	h.counts[idx].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistBucket is one cumulative bucket of a snapshot: the count of
+// observations ≤ UpperBound.
+type HistBucket struct {
+	UpperBound float64 // seconds; the final bucket is +Inf
+	Cumulative uint64
+}
+
+// HistSnapshot is a point-in-time, internally consistent view of a
+// histogram: buckets are cumulative (Prometheus `le` semantics) and Count
+// equals the +Inf bucket by construction.
+type HistSnapshot struct {
+	Buckets []HistBucket // len(bounds)+1; last UpperBound is +Inf
+	Count   uint64
+	Sum     float64 // seconds
+}
+
+// inf is the +Inf bound used for the final bucket of a snapshot.
+var inf = math.Inf(1)
+
+// Snapshot reads the histogram. Cumulative counts are built from one pass
+// over the per-bucket atomics; concurrent observations may straddle the
+// pass, but every bucket stays ≤ its successor and Count matches the +Inf
+// bucket exactly, which is the invariant the exposition format (and the
+// golden test) require.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Buckets: make([]HistBucket, len(h.counts))}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := inf
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = HistBucket{UpperBound: ub, Cumulative: cum}
+	}
+	s.Count = cum
+	s.Sum = time.Duration(h.sum.Load()).Seconds()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds with linear
+// interpolation inside the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Observations landing
+// in the +Inf bucket clamp to the largest finite bound. Returns 0 for an
+// empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, b := range s.Buckets {
+		if float64(b.Cumulative) < rank {
+			continue
+		}
+		if i == len(s.Buckets)-1 {
+			// +Inf bucket: clamp to the largest finite bound.
+			return s.Buckets[len(s.Buckets)-2].UpperBound
+		}
+		lo, cumLo := 0.0, uint64(0)
+		if i > 0 {
+			lo, cumLo = s.Buckets[i-1].UpperBound, s.Buckets[i-1].Cumulative
+		}
+		inBucket := float64(b.Cumulative - cumLo)
+		if inBucket == 0 {
+			return b.UpperBound
+		}
+		return lo + (b.UpperBound-lo)*((rank-float64(cumLo))/inBucket)
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // ≤ 1ms
+	h.Observe(1 * time.Millisecond)   // boundary lands in its own bucket (le)
+	h.Observe(5 * time.Millisecond)   // ≤ 10ms
+	h.Observe(2 * time.Second)        // +Inf
+
+	s := h.Snapshot()
+	want := []uint64{2, 3, 3, 4}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(want))
+	}
+	for i, w := range want {
+		if s.Buckets[i].Cumulative != w {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, s.Buckets[i].Cumulative, w)
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].UpperBound, 1) {
+		t.Error("final bucket bound is not +Inf")
+	}
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	wantSum := (500*time.Microsecond + time.Millisecond + 5*time.Millisecond + 2*time.Second).Seconds()
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.02, 0.04})
+	// 10 observations spread evenly through the ≤10ms bucket's range.
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// All mass in the first bucket: interpolation spans [0, 10ms].
+	if got := s.Quantile(0.5); math.Abs(got-0.005) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.005 (midpoint of first bucket)", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("p100 = %v, want 0.01 (bucket upper bound)", got)
+	}
+
+	// Mass beyond the largest finite bound clamps to it.
+	h2 := NewHistogram([]float64{0.01})
+	h2.Observe(time.Second)
+	if got := h2.Snapshot().Quantile(0.99); got != 0.01 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 0.01", got)
+	}
+
+	// Empty histogram.
+	if got := NewHistogram([]float64{1}).Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	for _, d := range []time.Duration{
+		200 * time.Microsecond, 3 * time.Millisecond, 3 * time.Millisecond,
+		40 * time.Millisecond, 700 * time.Millisecond, 2 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	p50, p90, p99 := s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	if p50 <= 0 || p99 > 60 {
+		t.Errorf("quantiles out of observed range: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Errorf("Count = %d, want 8000", s.Count)
+	}
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Cumulative < s.Buckets[i-1].Cumulative {
+			t.Fatalf("bucket %d cumulative %d < predecessor %d",
+				i, s.Buckets[i].Cumulative, s.Buckets[i-1].Cumulative)
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1].Cumulative != s.Count {
+		t.Error("+Inf bucket != Count")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"sync"
@@ -160,7 +159,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				// The response carries only a generic message (matching the
 				// flight-follower path); the detail goes to the server log,
 				// as net/http's own recover would have done for /v1/query.
-				log.Printf("server: panic serving batch item: %v\n%s", p, debug.Stack())
+				s.cfg.Logger.Error("panic serving batch item",
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				detail := errorDetail{Code: "internal", Message: "internal server error"}
 				for _, it := range group {
 					if it.resp == nil && it.fail == nil {
@@ -171,13 +171,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 		lead := group[0]
-		res, flags, err := s.answer(ctx, lead.key, lead.tuples, lead.opts, lead.timeout, lead.noCache, gate)
+		// Batch items run untraced: tracing is a per-query diagnosis surface
+		// (explain, slow-query logs), and one tracer cannot be shared across
+		// a batch's concurrent groups.
+		res, flags, err := s.answer(ctx, lead.key, lead.tuples, lead.opts, lead.timeout, lead.noCache, gate, nil)
 		for i, it := range group {
 			if i > 0 {
 				s.met.batchDeduped.Add(1)
 			}
 			if err != nil {
 				_, detail := s.classifyQueryError(err)
+				if res != nil && res.Stats.Stopped != "" {
+					// An interrupted search's partial disposition rides along,
+					// matching writeQueryError on /v1/query.
+					detail.Stopped = res.Stats.Stopped
+				}
 				it.fail = &detail
 				continue
 			}

@@ -1,16 +1,16 @@
 package server
 
 import (
-	"math"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"gqbe/internal/obs"
 )
 
-// serverMetrics aggregates the serving counters exposed on /statz. All
-// counters are atomics; the latency ring has its own short-lived lock. The
-// struct is engine-wide: one instance per Server, shared by every request.
+// serverMetrics aggregates the serving counters exposed on /statz and
+// /metrics. All counters are atomics; the latency histograms are themselves
+// concurrency-safe. The struct is engine-wide: one instance per Server,
+// shared by every request.
 type serverMetrics struct {
 	start time.Time
 
@@ -32,66 +32,31 @@ type serverMetrics struct {
 	batchItems    atomic.Uint64 // individual queries carried by accepted batches
 	batchDeduped  atomic.Uint64 // batch items answered by an identical item in the same batch
 
-	lat *latencyRing
+	slowQueries atomic.Uint64 // requests whose total handling time met Config.SlowQuery
+
+	// The three request-latency histograms, Prometheus-shaped (cumulative
+	// fixed buckets) so /metrics can expose them directly and /statz can
+	// derive its p50/p90/p99 from the same data:
+	//
+	//   searchLat — engine search time only (queue wait and response writing
+	//               excluded; cache hits and coalesced answers excluded, or
+	//               their microsecond times would collapse the percentiles as
+	//               the cache warms — see execute);
+	//   queueLat  — admission queue wait, every outcome included (a shed
+	//               request's full MaxQueueWait is exactly the signal);
+	//   totalLat  — full request handling time as the handler saw it.
+	searchLat *obs.Histogram
+	queueLat  *obs.Histogram
+	totalLat  *obs.Histogram
 }
 
-func newServerMetrics(ringSize int) *serverMetrics {
-	return &serverMetrics{start: time.Now(), lat: newLatencyRing(ringSize)}
-}
-
-// latencyRing keeps the most recent engine-search latencies (successful and
-// failed; cache hits excluded) in a fixed ring so /statz can report
-// sliding-window percentiles without unbounded memory.
-type latencyRing struct {
-	mu     sync.Mutex
-	buf    []time.Duration
-	next   int
-	filled int
-}
-
-func newLatencyRing(size int) *latencyRing {
-	if size <= 0 {
-		size = 1024
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		start:     time.Now(),
+		searchLat: obs.NewHistogram(obs.DefaultLatencyBuckets),
+		queueLat:  obs.NewHistogram(obs.DefaultLatencyBuckets),
+		totalLat:  obs.NewHistogram(obs.DefaultLatencyBuckets),
 	}
-	return &latencyRing{buf: make([]time.Duration, size)}
-}
-
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.next] = d
-	r.next = (r.next + 1) % len(r.buf)
-	if r.filled < len(r.buf) {
-		r.filled++
-	}
-	r.mu.Unlock()
-}
-
-// quantiles returns the given quantiles (in [0,1]) over the ring's current
-// window, plus the number of samples. With no samples all quantiles are 0.
-func (r *latencyRing) quantiles(qs ...float64) ([]time.Duration, int) {
-	r.mu.Lock()
-	snap := make([]time.Duration, r.filled)
-	copy(snap, r.buf[:r.filled])
-	r.mu.Unlock()
-
-	out := make([]time.Duration, len(qs))
-	if len(snap) == 0 {
-		return out, 0
-	}
-	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
-	for i, q := range qs {
-		// Round the rank up: upper quantiles must not underreport when the
-		// window is small (with 2 samples, p99 is the larger one).
-		idx := int(math.Ceil(q * float64(len(snap)-1)))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(snap) {
-			idx = len(snap) - 1
-		}
-		out[i] = snap[idx]
-	}
-	return out, len(snap)
 }
 
 // statzCache is the cache section of a /statz snapshot.
@@ -106,7 +71,12 @@ type statzCache struct {
 	SkippedFast uint64 `json:"skipped_fast"`
 }
 
-// statzLatency is the latency section of a /statz snapshot, in milliseconds.
+// statzLatency is the search-latency section of a /statz snapshot, in
+// milliseconds. The percentiles are estimated from the fixed-bucket search
+// histogram with the same linear interpolation Prometheus's
+// histogram_quantile uses (they were exact sliding-window quantiles before
+// the histogram migration; the JSON keys are unchanged), and Samples is the
+// histogram's lifetime observation count.
 type statzLatency struct {
 	P50     float64 `json:"p50_ms"`
 	P90     float64 `json:"p90_ms"`
@@ -152,6 +122,7 @@ type statzSnapshot struct {
 	BatchRequests uint64       `json:"batch_requests"`
 	BatchItems    uint64       `json:"batch_items"`
 	BatchDeduped  uint64       `json:"batch_deduped"`
+	SlowQueries   uint64       `json:"slow_queries"`
 	InFlight      int64        `json:"in_flight"`
 	BusyWorkers   int          `json:"busy_workers"`
 	QPS           float64      `json:"qps"`
@@ -167,7 +138,7 @@ type statzSnapshot struct {
 // for a stats endpoint.
 func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild, search statzSearch) statzSnapshot {
 	uptime := time.Since(m.start).Seconds()
-	qs, samples := m.lat.quantiles(0.50, 0.90, 0.99)
+	lat := m.searchLat.Snapshot()
 	hits, misses, evictions := cache.counters()
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -177,7 +148,7 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 	if uptime > 0 {
 		qps = float64(m.requests.Load()) / uptime
 	}
-	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	secToMS := func(sec float64) float64 { return sec * 1e3 }
 	return statzSnapshot{
 		UptimeSeconds: uptime,
 		Requests:      m.requests.Load(),
@@ -191,14 +162,15 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 		BatchRequests: m.batchRequests.Load(),
 		BatchItems:    m.batchItems.Load(),
 		BatchDeduped:  m.batchDeduped.Load(),
+		SlowQueries:   m.slowQueries.Load(),
 		InFlight:      m.inFlight.Load(),
 		BusyWorkers:   adm.busy(),
 		QPS:           qps,
 		Latency: statzLatency{
-			P50:     toMS(qs[0]),
-			P90:     toMS(qs[1]),
-			P99:     toMS(qs[2]),
-			Samples: samples,
+			P50:     secToMS(lat.Quantile(0.50)),
+			P90:     secToMS(lat.Quantile(0.90)),
+			P99:     secToMS(lat.Quantile(0.99)),
+			Samples: int(lat.Count),
 		},
 		Cache: statzCache{
 			Entries:     cache.len(),

@@ -22,8 +22,16 @@
 //     request set, deduplicating identical items and bounding per-batch
 //     engine concurrency (see handleBatch).
 //
+// The serving layer is also where query observability surfaces: every
+// request can carry an obs.Tracer through admission, the engine, and the
+// search coordinator, and the server exposes the result three ways —
+// POST /v1/query:explain returns the full per-stage breakdown for one query,
+// GET /metrics exposes Prometheus-format counters and latency histograms,
+// and requests slower than Config.SlowQuery are logged with their span tree.
+//
 // Endpoints: POST /v1/query (single- and multi-tuple queries),
-// POST /v1/query:batch, GET /v1/entity/{name}, GET /healthz, GET /statz.
+// POST /v1/query:batch, POST /v1/query:explain, GET /v1/entity/{name},
+// GET /healthz, GET /statz, GET /metrics.
 package server
 
 import (
@@ -31,16 +39,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gqbe"
 	"gqbe/internal/exec"
+	"gqbe/internal/obs"
 )
 
 // Server-side caps on client-tunable options. The admission layer bounds
@@ -95,9 +105,6 @@ type Config struct {
 	// negative sentinel survives normalization, so filling a Config twice
 	// (WithDefaults then New) cannot silently re-enable the floor.
 	CacheMinLatency time.Duration
-	// LatencyWindow is the number of recent query latencies kept for the
-	// /statz percentiles (default 1024).
-	LatencyWindow int
 	// MaxBatchItems caps how many queries one POST /v1/query:batch request
 	// may carry (default 64).
 	MaxBatchItems int
@@ -113,6 +120,20 @@ type Config struct {
 	// SearchWorkers workers × the row budget can be materialized at once,
 	// so raise one only with an eye on the other.
 	SearchWorkers int
+	// Trace attaches a tracer to every query, so each request's span tree is
+	// recorded (and debug-logged) even below the SlowQuery threshold.
+	// /v1/query:explain is always traced regardless of this setting; plain
+	// /v1/query responses never carry trace data either way — tracing
+	// changes no answers, only what the server can log about them.
+	Trace bool
+	// SlowQuery, when positive, logs a structured slow-query record — tuple,
+	// request id, outcome, stats, and the full span breakdown — for every
+	// request whose total handling time reaches it. Zero disables slow-query
+	// logging.
+	SlowQuery time.Duration
+	// Logger receives the server's structured logs (slow queries, per-query
+	// debug records, panic reports). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // WithDefaults returns c with every unset field filled in and the
@@ -154,9 +175,6 @@ func (c *Config) fill() {
 	if c.CacheMinLatency == 0 {
 		c.CacheMinLatency = time.Millisecond
 	}
-	if c.LatencyWindow <= 0 {
-		c.LatencyWindow = 1024
-	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
 	}
@@ -171,6 +189,9 @@ func (c *Config) fill() {
 	}
 	if c.SearchWorkers < 0 {
 		c.SearchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 }
 
@@ -194,6 +215,13 @@ type Server struct {
 	met     *serverMetrics
 	mux     *http.ServeMux
 
+	// reqSeq numbers requests within this process; combined with idBase
+	// (stamped from the start time at construction) it yields request IDs
+	// unique across restarts, so interleaved logs from two daemon runs never
+	// collide.
+	reqSeq atomic.Uint64
+	idBase string
+
 	// execHook, when non-nil, is called at the start of every real engine
 	// execution (after admission, before the search). Tests use it to count
 	// and gate engine runs; it must be set before the first request.
@@ -209,17 +237,36 @@ func New(eng *gqbe.Engine, cfg Config) *Server {
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
 		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
 		flights: newFlightGroup(),
-		met:     newServerMetrics(cfg.LatencyWindow),
+		met:     newServerMetrics(),
 		mux:     http.NewServeMux(),
+		idBase:  fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
 	}
 	// Method routing is done in the handlers (not mux patterns) so the
 	// binary behaves identically across Go releases.
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query:batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/query:explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/entity/", s.handleEntity)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// nextRequestID mints the request ID echoed in the X-Request-ID header and
+// carried by every structured log record for the request.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.idBase, s.reqSeq.Add(1))
+}
+
+// newTracer returns a tracer when the observability config wants one for
+// ordinary queries (tracing on, or a slow-query threshold to attribute), and
+// nil — the zero-cost disabled state — otherwise.
+func (s *Server) newTracer() *obs.Tracer {
+	if s.cfg.Trace || s.cfg.SlowQuery > 0 {
+		return obs.New()
+	}
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -233,6 +280,11 @@ type errorBody struct {
 type errorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Stopped carries the engine's stop disposition ("deadline" or
+	// "canceled") when an interrupted search still assembled a partial
+	// result before the error: the client can tell a search cut off
+	// mid-exploration from one that never got to run.
+	Stopped string `json:"stopped,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -415,13 +467,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
+	reqID := s.nextRequestID()
+	w.Header().Set("X-Request-ID", reqID)
+	start := time.Now()
+	defer func() { s.met.totalLat.Observe(time.Since(start)) }()
 	// Recover engine panics into a 500 (matching the batch path): letting
 	// them reach net/http's recover would kill the connection with the
 	// request counted in `requests` but in no outcome counter, silently
 	// breaking the /statz accounting invariant.
 	defer func() {
 		if p := recover(); p != nil {
-			log.Printf("server: panic serving query: %v\n%s", p, debug.Stack())
+			s.cfg.Logger.Error("panic serving query",
+				"request_id", reqID, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 			s.met.errored.Add(1)
 			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 		}
@@ -447,10 +504,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := s.newTracer()
 	key := cacheKeyFor(tuples, opts)
-	res, flags, err := s.answer(r.Context(), key, tuples, opts, s.effectiveTimeout(req.TimeoutMillis), req.NoCache, nil)
+	res, flags, err := s.answer(r.Context(), key, tuples, opts, s.effectiveTimeout(req.TimeoutMillis), req.NoCache, nil, tr)
+	s.logQuery(reqID, "/v1/query", tuples, time.Since(start), res, flags, err, tr.Finish())
 	if err != nil {
-		s.writeQueryError(w, err)
+		s.writeQueryError(w, err, res)
 		return
 	}
 	if flags.cached {
@@ -492,10 +551,15 @@ type answerFlags struct {
 // overlaps fully. /v1/query passes nil.
 //
 // Cache hits and coalesced answers are counted but deliberately NOT recorded
-// in the latency ring: their microsecond-to-wait times would drown out search
-// latencies and collapse the /statz percentiles as the cache warms. The ring
-// measures engine work — see execute.
-func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}) (*gqbe.Result, answerFlags, error) {
+// in the search-latency histogram: their microsecond-to-wait times would
+// drown out search latencies and collapse the /statz percentiles as the
+// cache warms. The histogram measures engine work — see execute.
+//
+// tr, when non-nil, receives the serving-stage spans: "admission.wait" and
+// "engine" on paths that run the engine, "singleflight.wait" when this
+// request follows another's flight. It is nil-safe and adds no cost when
+// disabled.
+func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}, tr *obs.Tracer) (*gqbe.Result, answerFlags, error) {
 	acquireGate := func(waitOn context.Context) error {
 		if gate == nil {
 			return nil
@@ -520,7 +584,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 			return nil, answerFlags{}, err
 		}
 		defer releaseGate()
-		res, _, err := s.execute(ctx, tuples, opts, timeout, nil)
+		res, _, err := s.execute(ctx, tuples, opts, timeout, nil, tr)
 		return res, answerFlags{}, err
 	}
 	if res, ok := s.cache.get(key); ok {
@@ -576,11 +640,15 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 		}
 		if leader {
 			defer releaseGate() // deferred so an engine panic cannot leak a gate slot
-			res, err := s.runFlight(runCtx, key, f, tuples, opts, timeout)
+			res, err := s.runFlight(runCtx, key, f, tuples, opts, timeout, tr)
 			return res, answerFlags{}, err
 		}
+		// The follower's whole wait is one span: on a retry loop each wait on
+		// a fresh flight gets its own.
+		wsp := tr.Start("singleflight.wait")
 		select {
 		case <-f.done:
+			wsp.End()
 			if f.err != nil && errors.Is(f.err, errSaturated) {
 				// The leader was shed after its full queue wait. Re-entering
 				// the flight group would serialize the followers into one
@@ -593,7 +661,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 					return nil, answerFlags{}, err
 				}
 				defer releaseGate()
-				res, searched, err := s.execute(wait, tuples, opts, timeout, nil)
+				res, searched, err := s.execute(wait, tuples, opts, timeout, nil, tr)
 				if err == nil && wait.Err() == nil {
 					s.cachePut(key, res, searched)
 				}
@@ -634,6 +702,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 		case <-wait.Done():
 			// The follower's own deadline (or client) expired while the
 			// leader was still computing; the leader is unaffected.
+			wsp.End()
 			return nil, answerFlags{}, wait.Err()
 		}
 	}
@@ -642,7 +711,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 // runFlight executes the search as key's flight leader, caching a successful
 // result and guaranteeing the flight is finished — followers released — even
 // if the engine panics.
-func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration) (res *gqbe.Result, err error) {
+func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration, tr *obs.Tracer) (res *gqbe.Result, err error) {
 	var searched time.Duration
 	defer func() {
 		if p := recover(); p != nil {
@@ -664,7 +733,7 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples []
 	}()
 	// Stamp the search start (post-admission) on the flight: followers use
 	// it to judge whether retrying a timed-out leader could ever succeed.
-	res, searched, err = s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() })
+	res, searched, err = s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() }, tr)
 	return res, err
 }
 
@@ -699,28 +768,36 @@ func approxResultBytes(res *gqbe.Result) int {
 }
 
 // minRecordedFailure is the duration floor for recording failed queries in
-// the latency ring: failures at least this slow did real engine work (a
-// row-budget blow-up after seconds of joining, a deep neighborhood scan
-// ending in ErrDisconnected) and belong in the percentiles, while
+// the search-latency histogram: failures at least this slow did real engine
+// work (a row-budget blow-up after seconds of joining, a deep neighborhood
+// scan ending in ErrDisconnected) and belong in the percentiles, while
 // microsecond validation-class failures would only drag them toward zero.
 const minRecordedFailure = time.Millisecond
 
 // execute runs the query under admission and its deadline, recording the
 // search time (and only it — queue wait and response writing excluded) in
-// the latency ring and returning it so callers can apply latency-gated
-// policies (the cache admission floor). Recording is gated on outcome:
-// successes and timeouts always count (timeouts are by construction the
-// slowest queries; excluding them would understate the tail), other
+// the search-latency histogram and returning it so callers can apply
+// latency-gated policies (the cache admission floor). Recording is gated on
+// outcome: successes and timeouts always count (timeouts are by construction
+// the slowest queries; excluding them would understate the tail), other
 // failures count only past the minRecordedFailure floor — keeping fast
-// validation-style failures out of the ring for the same reason the
-// unknown-entity pre-check and the cache-hit path are. The worker slot
-// guards the search only: it is released when execute returns, before any
-// response bytes are written, so a slow-reading client cannot pin a slot.
-func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func()) (res *gqbe.Result, searched time.Duration, err error) {
+// validation-style failures out of the histogram for the same reason the
+// unknown-entity pre-check and the cache-hit path are. The queue-wait
+// histogram, by contrast, records every admission attempt: a shed request's
+// full MaxQueueWait is exactly the saturation signal that series exists for.
+// The worker slot guards the search only: it is released when execute
+// returns, before any response bytes are written, so a slow-reading client
+// cannot pin a slot.
+func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func(), tr *obs.Tracer) (res *gqbe.Result, searched time.Duration, err error) {
 	// Take a worker slot before running a search. Cache hits in the caller
 	// deliberately skip admission — they cost microseconds.
-	if err := s.adm.acquire(ctx); err != nil {
-		return nil, 0, err
+	asp := tr.Start("admission.wait")
+	admStart := time.Now()
+	admErr := s.adm.acquire(ctx)
+	s.met.queueLat.Observe(time.Since(admStart))
+	asp.End()
+	if admErr != nil {
+		return nil, 0, admErr
 	}
 	defer s.adm.release()
 	if onAdmitted != nil {
@@ -729,21 +806,26 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	if s.execHook != nil {
 		s.execHook()
 	}
-	// The search fan-out is applied here — after cache-key construction, for
-	// every path that reaches the engine (query, batch, no_cache) — so the
-	// knob is uniformly the server's, never the client's.
+	// The search fan-out and the tracer are applied here — after cache-key
+	// construction, for every path that reaches the engine (query, batch,
+	// no_cache, explain) — so the fan-out knob is uniformly the server's,
+	// never the client's, and a traced request records the engine's own
+	// stage spans under the "engine" span below.
 	opts.Parallelism = s.cfg.SearchWorkers
+	opts.Tracer = tr
 	start := time.Now()
 	defer func() {
 		searched = time.Since(start)
 		if err == nil || errors.Is(err, context.DeadlineExceeded) || searched >= minRecordedFailure {
-			s.met.lat.record(searched)
+			s.met.searchLat.Observe(searched)
 		}
 	}()
 	qctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	// Naked returns: `searched` is assigned by the deferred ring-recording
-	// block above, which runs after these set res/err.
+	esp := tr.Start("engine")
+	defer esp.End()
+	// Naked returns: `searched` is assigned by the deferred histogram block
+	// above, which runs after these set res/err.
 	if len(tuples) == 1 {
 		res, err = s.eng.QueryCtx(qctx, tuples[0], &opts)
 		return
@@ -753,9 +835,14 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 }
 
 // writeQueryError maps a query execution error to the API's error
-// vocabulary, bumping the matching outcome counter.
-func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+// vocabulary, bumping the matching outcome counter. res, when non-nil, is
+// the partial result an interrupted (deadline/canceled) search still
+// assembled; its stop disposition rides along in the error detail.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error, res *gqbe.Result) {
 	status, detail := s.classifyQueryError(err)
+	if res != nil && res.Stats.Stopped != "" {
+		detail.Stopped = res.Stats.Stopped
+	}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -799,27 +886,35 @@ func (s *Server) classifyQueryError(err error) (int, errorDetail) {
 	}
 }
 
-func toResponse(res *gqbe.Result, flags answerFlags) queryResponse {
+func toStatsJSON(res *gqbe.Result) statsJSON {
 	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	out := queryResponse{
-		Answers: make([]answerJSON, 0, len(res.Answers)),
-		Stats: statsJSON{
-			DiscoveryMS:    toMS(res.Stats.Discovery),
-			MergeMS:        toMS(res.Stats.Merge),
-			ProcessingMS:   toMS(res.Stats.Processing),
-			MQGEdges:       res.Stats.MQGEdges,
-			NodesEvaluated: res.Stats.NodesEvaluated,
-			Stopped:        res.Stats.Stopped,
-			Terminated:     res.Stats.Terminated,
-		},
+	return statsJSON{
+		DiscoveryMS:    toMS(res.Stats.Discovery),
+		MergeMS:        toMS(res.Stats.Merge),
+		ProcessingMS:   toMS(res.Stats.Processing),
+		MQGEdges:       res.Stats.MQGEdges,
+		NodesEvaluated: res.Stats.NodesEvaluated,
+		Stopped:        res.Stats.Stopped,
+		Terminated:     res.Stats.Terminated,
+	}
+}
+
+func toAnswersJSON(res *gqbe.Result) []answerJSON {
+	out := make([]answerJSON, 0, len(res.Answers))
+	for _, a := range res.Answers {
+		out = append(out, answerJSON{Entities: a.Entities, Score: a.Score})
+	}
+	return out
+}
+
+func toResponse(res *gqbe.Result, flags answerFlags) queryResponse {
+	return queryResponse{
+		Answers:   toAnswersJSON(res),
+		Stats:     toStatsJSON(res),
 		Cached:    flags.cached,
 		Coalesced: flags.coalesced,
 		Deduped:   flags.deduped,
 	}
-	for _, a := range res.Answers {
-		out.Answers = append(out.Answers, answerJSON{Entities: a.Entities, Score: a.Score})
-	}
-	return out
 }
 
 // entityResponse is the GET /v1/entity/{name} success body; a 200 itself

@@ -10,6 +10,7 @@ import (
 	"gqbe/internal/lattice"
 	"gqbe/internal/mqg"
 	"gqbe/internal/neighborhood"
+	"gqbe/internal/obs"
 	"gqbe/internal/stats"
 	"gqbe/internal/storage"
 )
@@ -82,6 +83,33 @@ func benchSearch(b *testing.B, id string, opts Options) {
 
 func BenchmarkSearchF1(b *testing.B)  { benchSearch(b, "F1", Options{K: 25}) }
 func BenchmarkSearchF18(b *testing.B) { benchSearch(b, "F18", Options{K: 25}) }
+
+// BenchmarkSearchTraced is the tracing overhead guard: "off" is the plain
+// search (the nil-tracer fast path every production query without -trace
+// takes — BENCH_engine.json's obs section holds it within 2% of the
+// pre-tracing SearchF1/F18 baselines), "on" pays for a fresh tracer, the
+// per-pop eval records, and the time.Now pair around every join.
+func BenchmarkSearchTraced(b *testing.B) {
+	for _, id := range benchQuery {
+		b.Run(id+"/off", func(b *testing.B) { benchSearch(b, id, Options{K: 25}) })
+		b.Run(id+"/on", func(b *testing.B) {
+			benchFixture(b)
+			lat, tuple := benchLats[id], benchTups[id]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Search(benchSt, lat, [][]graph.NodeID{tuple},
+					Options{K: 25, Tracer: obs.New()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Answers) == 0 {
+					b.Fatal("no answers")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSearchWorkers sweeps the parallel fan-out (Options.Parallelism)
 // over the workload queries. W=1 is the sequential baseline above; W>1 rows

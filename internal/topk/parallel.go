@@ -30,15 +30,21 @@ package topk
 
 import (
 	"sync"
+	"time"
 
 	"gqbe/internal/exec"
 	"gqbe/internal/lattice"
 )
 
-// evalResult is one worker's completed evaluation.
+// evalResult is one worker's completed evaluation. dur is the wall time the
+// worker spent in Evaluate (zero when tracing is off): measuring on the
+// worker — not at consumption — is what keeps EvalMicros meaning "join
+// time" rather than "coordinator wait time", and carrying it through the
+// result channel lets the coordinator record it in deterministic pop order.
 type evalResult struct {
 	q    lattice.EdgeSet
 	rows *exec.Rows
+	dur  time.Duration
 	err  error
 }
 
@@ -54,6 +60,7 @@ func (s *searcher) runParallel(workers int) (*Result, error) {
 	// has already returned.
 	jobs := make(chan lattice.EdgeSet, workers)
 	results := make(chan evalResult, workers)
+	traced := s.tr != nil
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wev := s.ev.Fork(s.ctx)
@@ -61,8 +68,16 @@ func (s *searcher) runParallel(workers int) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for q := range jobs {
+				var start time.Time
+				if traced {
+					start = time.Now()
+				}
 				rows, err := wev.Evaluate(q)
-				results <- evalResult{q: q, rows: rows, err: err}
+				var dur time.Duration
+				if traced {
+					dur = time.Since(start)
+				}
+				results <- evalResult{q: q, rows: rows, dur: dur, err: err}
 			}
 		}()
 	}
@@ -140,11 +155,11 @@ func (s *searcher) runParallel(workers int) (*Result, error) {
 	// obtain yields qbest's evaluation, blocking on workers as needed while
 	// keeping them fed with speculation. It is the `evaluate` hook of the
 	// shared control loop, so consumption order is exactly the pop order.
-	obtain := func(qbest lattice.EdgeSet) (*exec.Rows, error) {
+	obtain := func(qbest lattice.EdgeSet) (*exec.Rows, time.Duration, error) {
 		for {
 			if r, ok := ready[qbest]; ok {
 				delete(ready, qbest)
-				return r.rows, r.err
+				return r.rows, r.dur, r.err
 			}
 			if !inflight[qbest] {
 				if len(inflight) >= workers {

@@ -114,8 +114,14 @@ func TestParallelSearchCanceled(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("W=%d: err = %v, want context.Canceled", w, err)
 		}
-		if res != nil {
-			t.Errorf("W=%d: canceled search returned a partial result", w)
+		// Cancellation surfaces the partial state alongside the error, with
+		// a distinct stop disposition (anytime answers).
+		if res == nil {
+			t.Errorf("W=%d: canceled search returned no partial result", w)
+			continue
+		}
+		if res.Stopped != StopCanceled {
+			t.Errorf("W=%d: Stopped = %q, want %q", w, res.Stopped, StopCanceled)
 		}
 	}
 }

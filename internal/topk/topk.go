@@ -13,10 +13,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"gqbe/internal/exec"
 	"gqbe/internal/graph"
 	"gqbe/internal/lattice"
+	"gqbe/internal/obs"
 	"gqbe/internal/scoring"
 	"gqbe/internal/storage"
 )
@@ -43,6 +45,13 @@ type Options struct {
 	// result-cache keys. Each worker evaluates one lattice node at a time,
 	// each up to the MaxRows budget, so peak join memory scales with it.
 	Parallelism int
+	// Tracer, when non-nil, records a per-pop node-evaluation table and
+	// evaluator counters into the query's trace (see internal/obs). Purely
+	// observational: the Result is bit-identical with tracing on or off, at
+	// any Parallelism — evaluation durations are measured on the workers but
+	// recorded by the coordinator in pop order. Like Parallelism it must be
+	// excluded from result-cache keys.
+	Tracer *obs.Tracer
 }
 
 // Fill makes the default option values explicit in place. Exported so
@@ -95,6 +104,12 @@ const (
 	StopProven StopReason = "topk-proven"
 	// StopMaxEvaluations: the MaxEvaluations safety valve fired.
 	StopMaxEvaluations StopReason = "max-evaluations"
+	// StopDeadline: the context's deadline expired mid-search; the Result is
+	// the partial state at that point (anytime answers).
+	StopDeadline StopReason = "deadline"
+	// StopCanceled: the context was canceled mid-search; the Result is the
+	// partial state at that point.
+	StopCanceled StopReason = "canceled"
 )
 
 // Result is the outcome of a search, including the efficiency counters the
@@ -113,6 +128,15 @@ type Result struct {
 	// RowBudgetSkips counts lattice nodes skipped because their join
 	// results exceeded the row budget.
 	RowBudgetSkips int
+	// NodesGenerated is the number of distinct lattice nodes ever admitted
+	// to the lower frontier (candidates the search considered).
+	NodesGenerated int
+	// NodesPruned counts frontier candidates discarded before evaluation
+	// because a null node subsumed them (Property 3 upward closure).
+	NodesPruned int
+	// FrontierRecomputes is the number of Alg. 3 upper-frontier
+	// recomputations (one per null node that invalidated the frontier).
+	FrontierRecomputes int
 }
 
 // cancelCheckInterval is how many rows the scoring passes process between
@@ -154,7 +178,10 @@ func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID
 // SearchCtx is Search under a cancellation context: the search checks ctx at
 // every node-evaluation boundary (and the joins check it at batch
 // granularity, see exec.WithContext), returning the context's error as soon
-// as it is done. A canceled search yields no partial Result.
+// as it is done. A search canceled mid-loop returns BOTH a non-nil partial
+// Result — the answers and counters at the moment of interruption, with
+// Stopped set to StopDeadline or StopCanceled — and the wrapped context
+// error, so callers can surface anytime answers alongside the disposition.
 func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
 	opts.Fill()
 	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows), exec.WithContext(ctx))
@@ -166,6 +193,7 @@ func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, 
 		ev:       ev,
 		sc:       sc,
 		opts:     opts,
+		tr:       opts.Tracer,
 		upper:    []ufNode{{set: lat.Full(), sscore: lat.SScore(lat.Full())}},
 		inLF:     make(map[lattice.EdgeSet]bool),
 		done:     make(map[lattice.EdgeSet]bool),
@@ -180,16 +208,29 @@ func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, 
 	if opts.Parallelism > 1 {
 		res, err = s.runParallel(opts.Parallelism)
 	} else {
-		res, err = s.run(ev.Evaluate)
+		res, err = s.run(s.evaluateSequential)
 	}
-	if err != nil {
-		return nil, err
+	if tr := opts.Tracer; tr != nil {
+		evals, hits, inc, scr := ev.Counters()
+		tr.Attr("exec_evaluations", int64(evals))
+		tr.Attr("exec_memo_hits", int64(hits))
+		tr.Attr("exec_incremental_joins", int64(inc))
+		tr.Attr("exec_scratch_evals", int64(scr))
 	}
-	// The coordinator's own consumption counter, not ev.Evaluated(): under
-	// parallel speculation the evaluator also counts wasted evaluations,
-	// while consumed is exactly the sequential loop's pop count.
-	res.NodesEvaluated = s.consumed
-	return res, nil
+	return res, err
+}
+
+// evaluateSequential is the sequential search's evaluate hook: the
+// evaluator's Evaluate, timed only when tracing is on (the disabled-tracing
+// path must not pay for time.Now — see BenchmarkSearchTraced).
+func (s *searcher) evaluateSequential(q lattice.EdgeSet) (*exec.Rows, time.Duration, error) {
+	if s.tr == nil {
+		rows, err := s.ev.Evaluate(q)
+		return rows, 0, err
+	}
+	start := time.Now()
+	rows, err := s.ev.Evaluate(q)
+	return rows, time.Since(start), err
 }
 
 // ufNode is one upper-frontier member with its cached structure score.
@@ -237,6 +278,7 @@ type searcher struct {
 	ev   *exec.Evaluator
 	sc   *scoring.Scorer
 	opts Options
+	tr   *obs.Tracer // nil when tracing is off
 
 	lf    lfHeap // lower frontier (candidates), lazy max-heap by U(Q)
 	inLF  map[lattice.EdgeSet]bool
@@ -263,6 +305,11 @@ type searcher struct {
 	kthHave  bool
 
 	nullCount int
+	// generated/prunedCount mirror Result.NodesGenerated/NodesPruned; both
+	// are maintained only by the single-threaded control loop, so they stay
+	// deterministic at any Parallelism.
+	generated   int
+	prunedCount int
 }
 
 // pruned reports whether q subsumes a known null node (upward closure,
@@ -295,9 +342,11 @@ func (s *searcher) pushLF(q lattice.EdgeSet) {
 	}
 	ub, ok := s.upperBound(q)
 	if !ok {
+		s.prunedCount++
 		return // effectively pruned
 	}
 	s.inLF[q] = true
+	s.generated++
 	heap.Push(&s.lf, lfEntry{q: q, ub: ub, own: s.lat.SScore(q), epoch: s.epoch})
 }
 
@@ -311,12 +360,14 @@ func (s *searcher) popBest() (lattice.EdgeSet, float64, bool) {
 		}
 		if s.pruned(e.q) {
 			delete(s.inLF, e.q)
+			s.prunedCount++
 			continue
 		}
 		if e.epoch != s.epoch {
 			ub, ok := s.upperBound(e.q)
 			if !ok {
 				delete(s.inLF, e.q)
+				s.prunedCount++
 				continue
 			}
 			e.ub, e.epoch = ub, s.epoch
@@ -350,18 +401,22 @@ func (s *searcher) kthBestSScore() (float64, bool) {
 	return s.kthVal, true
 }
 
-// run is the Alg. 2 control loop. evaluate supplies a lattice node's rows:
-// the sequential search passes the evaluator's Evaluate directly, the
+// run is the Alg. 2 control loop. evaluate supplies a lattice node's rows
+// plus its measured evaluation time (zero when tracing is off): the
+// sequential search passes a thin wrapper over the evaluator's Evaluate, the
 // parallel search passes an obtain function that consumes speculative worker
 // results in this loop's pop order (see parallel.go). Everything that makes
 // the search adaptive — pruning, upper-frontier recomputation, the Theorem-4
 // test — lives here and runs single-threaded either way, which is why the
 // two modes return bit-identical Results.
-func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Result, error) {
+//
+// Cancellation mid-loop returns the finalized partial Result (Stopped =
+// StopDeadline/StopCanceled) together with the wrapped context error.
+func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, time.Duration, error)) (*Result, error) {
 	res := &Result{Stopped: StopExhausted}
 	for {
 		if err := s.ctx.Err(); err != nil {
-			return nil, fmt.Errorf("topk: search canceled: %w", err)
+			return s.interrupted(res, err)
 		}
 		if s.opts.MaxEvaluations > 0 && s.consumed >= s.opts.MaxEvaluations {
 			res.Stopped = StopMaxEvaluations
@@ -383,7 +438,7 @@ func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Res
 		}
 		s.done[qbest] = true
 		s.consumed++
-		rows, err := evaluate(qbest)
+		rows, dur, err := evaluate(qbest)
 		if err != nil {
 			if errors.Is(err, exec.ErrTooManyRows) {
 				// Join blow-up on this query graph (the paper's F4/F19
@@ -392,13 +447,17 @@ func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Res
 				// they are not pruned, but they will only be reached
 				// through other children.
 				res.RowBudgetSkips++
+				s.recordEval(qbest, ub, 0, false, true, dur)
 				continue
+			}
+			if isContextErr(err) {
+				return s.interrupted(res, err)
 			}
 			return nil, fmt.Errorf("topk: evaluating lattice node: %w", err)
 		}
 		empty, err := s.onlyExcluded(rows)
 		if err != nil {
-			return nil, fmt.Errorf("topk: search canceled: %w", err)
+			return s.interrupted(res, err)
 		}
 		if rows.Len() == 0 || empty {
 			// Null node (an answer set holding only the query tuple itself
@@ -406,10 +465,12 @@ func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Res
 			// child answer with the same projection).
 			s.nullCount++
 			s.recordNull(qbest)
+			s.recordEval(qbest, ub, rows.Len(), true, false, dur)
 			continue
 		}
+		s.recordEval(qbest, ub, rows.Len(), false, false, dur)
 		if err := s.absorb(qbest, rows); err != nil {
-			return nil, fmt.Errorf("topk: search canceled: %w", err)
+			return s.interrupted(res, err)
 		}
 		for _, p := range s.lat.Parents(qbest) {
 			if !s.done[p] && !s.inLF[p] && !s.pruned(p) {
@@ -417,10 +478,60 @@ func (s *searcher) run(evaluate func(lattice.EdgeSet) (*exec.Rows, error)) (*Res
 			}
 		}
 	}
+	return s.finalize(res), nil
+}
+
+// finalize fills the Result's counters and ranked answers from the
+// searcher's state. NodesEvaluated is the coordinator's own consumption
+// counter, not ev.Evaluated(): under parallel speculation the evaluator also
+// counts wasted evaluations, while consumed is exactly the sequential loop's
+// pop count.
+func (s *searcher) finalize(res *Result) *Result {
+	res.NodesEvaluated = s.consumed
 	res.NullNodes = s.nullCount
 	res.TuplesSeen = s.tuples.len()
+	res.NodesGenerated = s.generated
+	res.NodesPruned = s.prunedCount
+	res.FrontierRecomputes = s.epoch
 	res.Answers = s.rank()
-	return res, nil
+	return res
+}
+
+// interrupted finalizes the partial Result for a context interruption and
+// wraps the error. The partial answers are whatever the two-stage ranking
+// yields from the tuples absorbed so far — the first step toward the
+// anytime-answer mode on the roadmap.
+func (s *searcher) interrupted(res *Result, err error) (*Result, error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		res.Stopped = StopDeadline
+	} else {
+		res.Stopped = StopCanceled
+	}
+	return s.finalize(res), fmt.Errorf("topk: search canceled: %w", err)
+}
+
+// isContextErr reports whether err is a context interruption (as opposed to
+// a genuine evaluation failure, which still voids the Result).
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// recordEval appends one consumed node to the trace's evaluation table.
+// No-op when tracing is off.
+func (s *searcher) recordEval(q lattice.EdgeSet, ub float64, rows int, null, skipped bool, dur time.Duration) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.AddNodeEval(obs.NodeEval{
+		Node:       uint64(q),
+		Edges:      q.Count(),
+		UpperBound: ub,
+		SScore:     s.lat.SScore(q),
+		Rows:       rows,
+		Null:       null,
+		Skipped:    skipped,
+		EvalMicros: dur.Microseconds(),
+	})
 }
 
 // onlyExcluded reports whether every row projects to an excluded (query)

@@ -1,0 +1,137 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"gqbe/internal/obs"
+)
+
+// TestSearchTracedDeterministic pins the tracing contract: tracing on must
+// not change the Result at any Parallelism, and the node-evaluation table
+// must replay the sequential pop order — identical across W in every field
+// except the wall-clock EvalMicros.
+func TestSearchTracedDeterministic(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	opts := Options{K: 10, Parallelism: 1}
+	want, err := Search(store, lat, exclude, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stripMicros := func(evals []obs.NodeEval) []obs.NodeEval {
+		out := append([]obs.NodeEval(nil), evals...)
+		for i := range out {
+			out[i].EvalMicros = 0
+		}
+		return out
+	}
+	var wantEvals []obs.NodeEval
+	for _, w := range []int{1, 8} {
+		tr := obs.New()
+		opts.Parallelism = w
+		opts.Tracer = tr
+		got, err := Search(store, lat, exclude, opts)
+		if err != nil {
+			t.Fatalf("W=%d traced search: %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("W=%d: traced Result differs from untraced sequential:\n want: %+v\n got:  %+v", w, want, got)
+		}
+		evals := tr.NodeEvals()
+		if len(evals) != got.NodesEvaluated {
+			t.Errorf("W=%d: %d NodeEvals recorded, NodesEvaluated = %d", w, len(evals), got.NodesEvaluated)
+		}
+		nulls, skips := 0, 0
+		for _, e := range evals {
+			if e.Null {
+				nulls++
+			}
+			if e.Skipped {
+				skips++
+			}
+		}
+		if nulls != got.NullNodes || skips != got.RowBudgetSkips {
+			t.Errorf("W=%d: eval table counts nulls=%d skips=%d, Result has %d/%d",
+				w, nulls, skips, got.NullNodes, got.RowBudgetSkips)
+		}
+		stripped := stripMicros(evals)
+		if wantEvals == nil {
+			wantEvals = stripped
+		} else if !reflect.DeepEqual(wantEvals, stripped) {
+			t.Errorf("W=%d: node-eval table (sans timing) differs from W=1", w)
+		}
+	}
+}
+
+// TestSearchTracedExecAttrs checks the evaluator counters land as attributes
+// on the tracer's current span.
+func TestSearchTracedExecAttrs(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	tr := obs.New()
+	res, err := Search(store, lat, exclude, Options{K: 10, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Finish()
+	attrs := map[string]int64{}
+	for _, a := range root.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["exec_evaluations"] < int64(res.NodesEvaluated) {
+		t.Errorf("exec_evaluations attr = %d, want >= NodesEvaluated %d",
+			attrs["exec_evaluations"], res.NodesEvaluated)
+	}
+	if _, ok := attrs["exec_memo_hits"]; !ok {
+		t.Error("exec_memo_hits attr missing")
+	}
+	if attrs["exec_incremental_joins"]+attrs["exec_scratch_evals"] != attrs["exec_evaluations"] {
+		t.Errorf("incremental(%d) + scratch(%d) != evaluations(%d)",
+			attrs["exec_incremental_joins"], attrs["exec_scratch_evals"], attrs["exec_evaluations"])
+	}
+}
+
+// TestSearchDeadlinePartial is the regression test for the timeout path: a
+// deadline expiring before (or during) the search loop yields a partial
+// Result with the distinct StopDeadline disposition alongside the error, not
+// a bare error.
+func TestSearchDeadlinePartial(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, w := range []int{1, 2, 8} {
+		res, err := SearchCtx(ctx, store, lat, exclude, Options{K: 10, Parallelism: w})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("W=%d: err = %v, want context.DeadlineExceeded", w, err)
+		}
+		if res == nil {
+			t.Fatalf("W=%d: no partial result on deadline", w)
+		}
+		if res.Stopped != StopDeadline {
+			t.Errorf("W=%d: Stopped = %q, want %q", w, res.Stopped, StopDeadline)
+		}
+		if res.NodesEvaluated != 0 || len(res.Answers) != 0 {
+			t.Errorf("W=%d: pre-expired deadline evaluated %d nodes, %d answers; want 0/0",
+				w, res.NodesEvaluated, len(res.Answers))
+		}
+	}
+}
+
+// TestSearchCountersPopulated sanity-checks the new lattice counters on a
+// real search (their cross-W determinism is the oracle tests' job).
+func TestSearchCountersPopulated(t *testing.T) {
+	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
+	res, err := Search(store, lat, exclude, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesGenerated < res.NodesEvaluated {
+		t.Errorf("NodesGenerated %d < NodesEvaluated %d", res.NodesGenerated, res.NodesEvaluated)
+	}
+	if res.NullNodes > 0 && res.FrontierRecomputes == 0 {
+		t.Errorf("null nodes seen (%d) but FrontierRecomputes is 0", res.NullNodes)
+	}
+}

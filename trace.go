@@ -1,0 +1,105 @@
+// Query tracing: the public face of internal/obs. A Tracer attached to
+// Options records where a query spent its time (per-stage spans) and which
+// lattice nodes the search evaluated (the paper's Fig. 15 quantity, per
+// node). The serving layer builds /v1/query:explain from exactly this
+// surface; embedders get the same visibility by attaching their own tracer.
+package gqbe
+
+import (
+	"gqbe/internal/graph"
+	"gqbe/internal/mqg"
+	"gqbe/internal/obs"
+)
+
+// Tracer records one query's execution as a span tree plus a per-node
+// evaluation table. Create one with NewTracer, attach it to Options.Tracer,
+// run the query, then read Root, Finish, and NodeEvals. A Tracer belongs to
+// a single query and must not be shared across concurrent queries; a nil
+// *Tracer is the disabled state and costs nothing.
+type Tracer = obs.Tracer
+
+// Span is one timed stage of a traced query: a name, a start offset from
+// the trace root, a duration, integer attributes, and child spans.
+type Span = obs.Span
+
+// SpanAttr is one integer attribute on a Span.
+type SpanAttr = obs.Attr
+
+// NodeEval is one lattice-node evaluation from a traced search, in the
+// search's deterministic pop order: the node's edge bitmask, upper bound,
+// structure score, row count, null/skip disposition, and evaluation time.
+type NodeEval = obs.NodeEval
+
+// NewTracer starts a new query trace. Attach it to Options.Tracer; tracing
+// changes no results (answers and Stats are bit-identical with it on or
+// off) and is excluded from Normalized, so cached and traced executions of
+// the same query share one identity.
+func NewTracer() *Tracer { return obs.New() }
+
+// MQGNode is one node of the derived maximal query graph, rendered for
+// display.
+type MQGNode struct {
+	// Name is the entity name, or "w1", "w2", ... for the virtual nodes of
+	// a merged multi-tuple MQG (the paper's Fig. 8 notation).
+	Name string
+	// Virtual marks a merged-MQG virtual node.
+	Virtual bool
+	// Entity marks a node standing for a query-tuple entity.
+	Entity bool
+}
+
+// MQGEdge is one weighted edge of the derived maximal query graph. Src and
+// Dst index MQGInfo.Nodes.
+type MQGEdge struct {
+	Src    int
+	Dst    int
+	Label  string
+	Weight float64
+}
+
+// MQGInfo is a display rendering of the maximal query graph a query derived
+// (Alg. 1, §III): the weighted relationship structure the lattice search
+// approximates. Populated on Result only for traced queries.
+type MQGInfo struct {
+	Nodes []MQGNode
+	Edges []MQGEdge
+}
+
+// mqgInfo renders the internal MQG for the public Result: nodes indexed by
+// first appearance over the edge list (a deterministic order), names
+// resolved against the data graph.
+func (e *Engine) mqgInfo(m *mqg.MQG) *MQGInfo {
+	g := e.eng.Graph()
+	inTuple := make(map[graph.NodeID]bool, len(m.Tuple))
+	for _, v := range m.Tuple {
+		inTuple[v] = true
+	}
+	info := &MQGInfo{}
+	index := make(map[graph.NodeID]int)
+	nodeIdx := func(v graph.NodeID) int {
+		if i, ok := index[v]; ok {
+			return i
+		}
+		i := len(info.Nodes)
+		index[v] = i
+		info.Nodes = append(info.Nodes, MQGNode{
+			Name:    mqg.NodeName(g, v),
+			Virtual: mqg.IsVirtual(v),
+			Entity:  inTuple[v],
+		})
+		return i
+	}
+	for i, ed := range m.Sub.Edges {
+		w := 0.0
+		if i < len(m.Weights) {
+			w = m.Weights[i]
+		}
+		info.Edges = append(info.Edges, MQGEdge{
+			Src:    nodeIdx(ed.Src),
+			Dst:    nodeIdx(ed.Dst),
+			Label:  g.LabelName(ed.Label),
+			Weight: w,
+		})
+	}
+	return info
+}

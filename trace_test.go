@@ -1,0 +1,81 @@
+package gqbe
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTracedQuery pins the public tracing contract end to end: a traced
+// query returns identical answers and stats, plus the MQG rendering, a span
+// tree covering the pipeline stages, and a node-evaluation table agreeing
+// with Stats.NodesEvaluated.
+func TestTracedQuery(t *testing.T) {
+	e := fig1Engine(t)
+	plain, err := e.Query([]string{"Jerry Yang", "Yahoo!"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer()
+	res, err := e.Query([]string{"Jerry Yang", "Yahoo!"}, &Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Finish()
+
+	if !reflect.DeepEqual(plain.Answers, res.Answers) {
+		t.Errorf("traced answers differ from untraced:\n plain: %+v\n traced: %+v", plain.Answers, res.Answers)
+	}
+	if res.MQG == nil || len(res.MQG.Edges) != res.Stats.MQGEdges {
+		t.Fatalf("MQG rendering = %+v, want %d edges", res.MQG, res.Stats.MQGEdges)
+	}
+	if len(res.MQG.Nodes) == 0 {
+		t.Error("MQG rendering has no nodes")
+	}
+	entityNodes := 0
+	for _, n := range res.MQG.Nodes {
+		if n.Name == "" {
+			t.Error("MQG node with empty name")
+		}
+		if n.Entity {
+			entityNodes++
+		}
+	}
+	if entityNodes != 2 {
+		t.Errorf("MQG marks %d entity nodes, want 2 (the query tuple)", entityNodes)
+	}
+	if plain.MQG != nil {
+		t.Error("untraced query populated Result.MQG")
+	}
+
+	if got := len(tr.NodeEvals()); got != res.Stats.NodesEvaluated {
+		t.Errorf("NodeEvals = %d, Stats.NodesEvaluated = %d", got, res.Stats.NodesEvaluated)
+	}
+	stages := map[string]bool{}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		stages[sp.Name] = true
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, want := range []string{"query", "discovery", "neighborhood", "mqg.discover", "lattice.build", "search"} {
+		if !stages[want] {
+			t.Errorf("span %q missing from trace (have %v)", want, stages)
+		}
+	}
+}
+
+// TestNormalizedExcludesTracer: attaching a tracer must not change a
+// query's normalized identity (the serving layer's cache-key soundness).
+func TestNormalizedExcludesTracer(t *testing.T) {
+	plain := (&Options{K: 5}).Normalized()
+	traced := (&Options{K: 5, Tracer: NewTracer()}).Normalized()
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("Normalized differs with tracer attached:\n plain: %+v\n traced: %+v", plain, traced)
+	}
+	if traced.Tracer != nil {
+		t.Error("Normalized kept the Tracer pointer")
+	}
+}
