@@ -7,6 +7,7 @@ package gqbe
 // reported artifact; EXPERIMENTS.md records the paper-vs-measured shapes.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -182,7 +183,7 @@ func BenchmarkNeighborhoodExtraction(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := neighborhood.Extract(ds.Graph, tuple, 2); err != nil {
+		if _, err := neighborhood.ExtractCtx(context.Background(), ds.Graph, tuple, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -197,7 +198,7 @@ func BenchmarkMQGDiscovery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.DiscoverMQG(tuple, core.Options{}); err != nil {
+		if _, err := eng.DiscoverMQGCtx(context.Background(), tuple, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,17 +209,17 @@ func BenchmarkMQGMerge(b *testing.B) {
 	q := ds.MustQuery("F18")
 	t1, _ := ds.Tuple(q.Table[0])
 	t2, _ := ds.Tuple(q.Table[1])
-	m1, err := eng.DiscoverMQG(t1, core.Options{})
+	m1, err := eng.DiscoverMQGCtx(context.Background(), t1, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	m2, err := eng.DiscoverMQG(t2, core.Options{})
+	m2, err := eng.DiscoverMQGCtx(context.Background(), t2, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mqg.Merge([]*mqg.MQG{m1, m2}, 15); err != nil {
+		if _, err := mqg.MergeCtx(context.Background(), []*mqg.MQG{m1, m2}, 15); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -231,17 +232,17 @@ func BenchmarkLatticeSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := eng.DiscoverMQG(tuple, core.Options{})
+	m, err := eng.DiscoverMQGCtx(context.Background(), tuple, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := topk.Search(eng.Store(), lat, nil, topk.Options{K: 25}); err != nil {
+		if _, err := topk.SearchCtx(context.Background(), eng.Store(), lat, nil, topk.Options{K: 25}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,7 +257,7 @@ func BenchmarkQueryEndToEnd(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Query(tuple, core.Options{K: 25}); err != nil {
+		if _, err := eng.QueryCtx(context.Background(), tuple, core.Options{K: 25}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,152 @@
+// Command gqbelint is the CI gate for the repo's behavioral invariants.
+// It runs the internal/lint analyzer suite — determinism (no map-order,
+// clock, or randomness dependence in the search coordinator), hotalloc
+// (//gqbe:hotpath functions stay allocation-free), ctxflow (contexts are
+// threaded, never re-minted), and sentinels (boundary errors wrap typed
+// sentinels) — over the module's packages.
+//
+// Usage:
+//
+//	gqbelint [-summary file] [./... | dir ...]
+//
+// With no arguments or the literal pattern "./..." it lints every package
+// under the current module. Findings print one per line on stderr as
+// "path:line: rule: message"; -summary additionally appends a markdown
+// table to the given file (pass "$GITHUB_STEP_SUMMARY" in CI). Exit
+// status is 1 if there are findings, 2 if the tree fails to load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gqbe/internal/lint"
+)
+
+func main() {
+	summary := flag.String("summary", "", "append a markdown summary of the run to this file")
+	flag.Parse()
+
+	pkgs, err := load(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gqbelint: %v\n", err)
+		os.Exit(2)
+	}
+	analyzers := lint.DefaultAnalyzers()
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if *summary != "" {
+		if err := appendSummary(*summary, renderSummary(len(pkgs), len(analyzers), diags)); err != nil {
+			fmt.Fprintf(os.Stderr, "gqbelint: writing summary: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gqbelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// load resolves the argument patterns to typechecked packages. The only
+// supported forms are "./..." (or nothing) for the whole module and
+// explicit package directories.
+func load(args []string) ([]*lint.Package, error) {
+	loader := lint.NewLoader()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		return loader.LoadTree(".")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %s: %w", arg, err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("%s is outside the module at %s", arg, root)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := loader.LoadDir(abs, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// renderSummary produces the markdown block appended to -summary: a
+// one-line verdict plus, when there are findings, a rule/location table.
+func renderSummary(pkgCount, analyzerCount int, diags []lint.Diagnostic) string {
+	var b []byte
+	b = append(b, "## gqbelint\n\n"...)
+	if len(diags) == 0 {
+		b = append(b, fmt.Sprintf("✅ %d packages clean under %d analyzers.\n", pkgCount, analyzerCount)...)
+		return string(b)
+	}
+	b = append(b, fmt.Sprintf("❌ %d finding(s) across %d packages (%d analyzers).\n\n", len(diags), pkgCount, analyzerCount)...)
+	b = append(b, "| Location | Rule | Message |\n|---|---|---|\n"...)
+	for _, d := range diags {
+		b = append(b, fmt.Sprintf("| `%s:%d` | %s | %s |\n", d.Pos.Filename, d.Pos.Line, d.Rule, escapePipes(d.Message))...)
+	}
+	return string(b)
+}
+
+// escapePipes keeps diagnostic messages from breaking the markdown table.
+func escapePipes(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// appendSummary appends the block to path, creating it if needed.
+func appendSummary(path, block string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(block)
+	return err
+}

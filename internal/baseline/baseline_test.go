@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"gqbe/internal/graph"
@@ -19,15 +20,15 @@ func pipeline(t *testing.T, names ...string) (*graph.Graph, *storage.Store, *lat
 	store := storage.Build(g)
 	st := stats.New(store)
 	tuple := testkg.Tuple(g, names...)
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := mqg.Discover(st, nres.Reduced, tuple, 10)
+	m, err := mqg.DiscoverCtx(context.Background(), st, nres.Reduced, tuple, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestBaselineFindsSameTopTuplesAsGQBE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gres, err := topk.Search(store, lat, exclude, topk.Options{K: 1000, KPrime: 1000})
+	gres, err := topk.SearchCtx(context.Background(), store, lat, exclude, topk.Options{K: 1000, KPrime: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestBaselineEvaluatesAtLeastAsManyNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gres, err := topk.Search(store, lat, exclude, topk.Options{K: 3, KPrime: 3})
+	gres, err := topk.SearchCtx(context.Background(), store, lat, exclude, topk.Options{K: 3, KPrime: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestBaselinePrunesNullAncestors(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{g.MustNode("q1"), g.MustNode("q2")},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -187,14 +187,9 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // Store returns the vertical-partition store (for baselines and benches).
 func (e *Engine) Store() *storage.Store { return e.store }
 
-// DiscoverMQG runs query graph discovery for one tuple: neighborhood
-// extraction, reduction, and Alg. 1.
-func (e *Engine) DiscoverMQG(tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
-	return e.DiscoverMQGCtx(context.Background(), tuple, opts)
-}
-
-// DiscoverMQGCtx is DiscoverMQG under a cancellation context, checked between
-// the discovery phases.
+// DiscoverMQGCtx runs query graph discovery for one tuple — neighborhood
+// extraction, reduction, and Alg. 1 — with ctx checked between the
+// discovery phases.
 func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts Options) (*mqg.MQG, error) {
 	opts.fill()
 	tr := opts.Tracer
@@ -219,17 +214,13 @@ func (e *Engine) DiscoverMQGCtx(ctx context.Context, tuple []graph.NodeID, opts 
 	return m, nil
 }
 
-// Lattice builds the query lattice for a discovered MQG.
-func (e *Engine) Lattice(m *mqg.MQG) (*lattice.Lattice, error) {
-	return lattice.New(m)
+// Lattice builds the query lattice for a discovered MQG; ctx bounds the
+// minimal-tree enumeration (see lattice.NewCtx).
+func (e *Engine) Lattice(ctx context.Context, m *mqg.MQG) (*lattice.Lattice, error) {
+	return lattice.NewCtx(ctx, m)
 }
 
-// Query answers a single-tuple query end to end.
-func (e *Engine) Query(tuple []graph.NodeID, opts Options) (*Result, error) {
-	return e.QueryCtx(context.Background(), tuple, opts)
-}
-
-// QueryCtx is Query under a cancellation context: every pipeline phase —
+// QueryCtx answers a single-tuple query end to end. Every pipeline phase —
 // discovery, lattice construction, and the best-first search with its hash
 // joins — observes ctx, so a canceled or expired context aborts the query
 // promptly with the context's error. An interruption that strikes inside the
@@ -253,14 +244,9 @@ func (e *Engine) QueryCtx(ctx context.Context, tuple []graph.NodeID, opts Option
 	return res, err
 }
 
-// QueryMulti answers a multi-tuple query (§III-D): individual MQGs are
+// QueryMultiCtx answers a multi-tuple query (§III-D): individual MQGs are
 // discovered per tuple, merged and re-weighted, and the merged MQG is
-// processed like a single-tuple query.
-func (e *Engine) QueryMulti(tuples [][]graph.NodeID, opts Options) (*Result, error) {
-	return e.QueryMultiCtx(context.Background(), tuples, opts)
-}
-
-// QueryMultiCtx is QueryMulti under a cancellation context (see QueryCtx).
+// processed like a single-tuple query. Cancellation behaves as in QueryCtx.
 func (e *Engine) QueryMultiCtx(ctx context.Context, tuples [][]graph.NodeID, opts Options) (*Result, error) {
 	opts.fill()
 	if len(tuples) == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestQueryEndToEndFig1(t *testing.T) {
 	g := testkg.Fig1()
 	e := NewEngine(g)
 	tuple := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
-	res, err := e.Query(tuple, Options{K: 10, KPrime: 10, MQGSize: 10})
+	res, err := e.QueryCtx(context.Background(), tuple, Options{K: 10, KPrime: 10, MQGSize: 10})
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestQueryMultiFig1(t *testing.T) {
 	e := NewEngine(g)
 	t1 := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
 	t2 := testkg.Tuple(g, "Steve Wozniak", "Apple Inc.")
-	res, err := e.QueryMulti([][]graph.NodeID{t1, t2}, Options{K: 10, KPrime: 10, MQGSize: 12})
+	res, err := e.QueryMultiCtx(context.Background(), [][]graph.NodeID{t1, t2}, Options{K: 10, KPrime: 10, MQGSize: 12})
 	if err != nil {
 		t.Fatalf("QueryMulti: %v", err)
 	}
@@ -66,14 +67,14 @@ func TestQueryMultiSingleFallback(t *testing.T) {
 	g := testkg.Fig1()
 	e := NewEngine(g)
 	t1 := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
-	res, err := e.QueryMulti([][]graph.NodeID{t1}, Options{K: 5, KPrime: 5, MQGSize: 10})
+	res, err := e.QueryMultiCtx(context.Background(), [][]graph.NodeID{t1}, Options{K: 5, KPrime: 5, MQGSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Answers) == 0 {
 		t.Error("single-tuple fallback returned nothing")
 	}
-	if _, err := e.QueryMulti(nil, Options{}); err == nil {
+	if _, err := e.QueryMultiCtx(context.Background(), nil, Options{}); err == nil {
 		t.Error("empty tuple list accepted")
 	}
 }
@@ -88,7 +89,7 @@ func TestQueryOnSyntheticWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Query(tuple, Options{K: 10})
+	res, err := e.QueryCtx(context.Background(), tuple, Options{K: 10})
 	if err != nil {
 		t.Fatalf("Query(F18): %v", err)
 	}
@@ -118,7 +119,7 @@ func TestDiscoverMQGRespectsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := e.DiscoverMQG(tuple, Options{MQGSize: 8})
+	m, err := e.DiscoverMQGCtx(context.Background(), tuple, Options{MQGSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestDiscoverMQGRespectsBudget(t *testing.T) {
 	if len(m.Sub.Edges) > 16 {
 		t.Errorf("MQG has %d edges for r=8", len(m.Sub.Edges))
 	}
-	lat, err := e.Lattice(m)
+	lat, err := e.Lattice(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,10 +141,10 @@ func TestDiscoverMQGRespectsBudget(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	g := testkg.Fig1()
 	e := NewEngine(g)
-	if _, err := e.Query(nil, Options{}); err == nil {
+	if _, err := e.QueryCtx(context.Background(), nil, Options{}); err == nil {
 		t.Error("empty tuple accepted")
 	}
-	if _, err := e.Query([]graph.NodeID{99999}, Options{}); err == nil {
+	if _, err := e.QueryCtx(context.Background(), []graph.NodeID{99999}, Options{}); err == nil {
 		t.Error("unknown entity accepted")
 	}
 }

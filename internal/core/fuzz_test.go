@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gqbe/internal/snapio"
+	"gqbe/internal/testkg"
+)
+
+// FuzzReadSnapshot feeds arbitrary bytes to the snapshot reader. The
+// contract under test is the one PR 4 promised and the sentinels invariant
+// enforces: corruption never panics, and every failure surfaces as one of
+// snapio's typed sentinels so the daemon's corrupt-snapshot fallback can
+// classify it with errors.Is.
+func FuzzReadSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	if err := NewEngine(testkg.Fig1()).WriteSnapshot(&buf); err != nil {
+		f.Fatalf("writing seed snapshot: %v", err)
+	}
+	valid := buf.Bytes()
+
+	f.Add([]byte{})
+	f.Add([]byte("GQBESNAP"))
+	f.Add([]byte("NOTASNAP file"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), 0x00))
+
+	sentinels := []error{
+		snapio.ErrBadMagic,
+		snapio.ErrVersion,
+		snapio.ErrChecksum,
+		snapio.ErrTruncated,
+		snapio.ErrCorrupt,
+		snapio.ErrTooLarge,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := ReadSnapshot(bytes.NewReader(data))
+		if err == nil {
+			if eng == nil {
+				t.Fatal("nil engine with nil error")
+			}
+			if eng.Graph() == nil || eng.Store() == nil {
+				t.Fatal("accepted snapshot yields incomplete engine")
+			}
+			return
+		}
+		if eng != nil {
+			t.Fatalf("non-nil engine alongside error %v", err)
+		}
+		for _, s := range sentinels {
+			if errors.Is(err, s) {
+				return
+			}
+		}
+		t.Fatalf("error %v (%T) wraps no snapio sentinel", err, err)
+	})
+}

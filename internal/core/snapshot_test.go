@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -43,7 +44,7 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := eng.Query(tuple, Options{K: 10})
+	want, err := eng.QueryCtx(context.Background(), tuple, Options{K: 10})
 	if err != nil {
 		t.Fatalf("query on built engine: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("entity %q: id %d in loaded graph, %d in source", name, id, tuple[i])
 		}
 	}
-	got, err := loaded.Query(tuple, Options{K: 10})
+	got, err := loaded.QueryCtx(context.Background(), tuple, Options{K: 10})
 	if err != nil {
 		t.Fatalf("query on loaded engine: %v", err)
 	}
@@ -181,11 +182,11 @@ func TestNewEngineOptsSharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := seq.Query(tuple, Options{K: 5})
+	a, err := seq.QueryCtx(context.Background(), tuple, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := shd.Query(tuple, Options{K: 5})
+	b, err := shd.QueryCtx(context.Background(), tuple, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -33,15 +34,15 @@ func benchFixture(b *testing.B) (*storage.Store, *lattice.Lattice) {
 		if err != nil {
 			panic(err)
 		}
-		nres, err := neighborhood.Extract(benchG, tuple, 2)
+		nres, err := neighborhood.ExtractCtx(context.Background(), benchG, tuple, 2)
 		if err != nil {
 			panic(err)
 		}
-		m, err := mqg.Discover(stats.New(benchSt), nres.Reduced, tuple, 15)
+		m, err := mqg.DiscoverCtx(context.Background(), stats.New(benchSt), nres.Reduced, tuple, 15)
 		if err != nil {
 			panic(err)
 		}
-		benchLat, err = lattice.New(m)
+		benchLat, err = lattice.NewCtx(context.Background(), m)
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -101,7 +102,7 @@ func TestQuickEvaluatorMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		g, m := randomCase(r)
-		lat, err := lattice.New(m)
+		lat, err := lattice.NewCtx(context.Background(), m)
 		if err != nil {
 			return true // query graph can't connect the entities: skip
 		}
@@ -141,7 +142,7 @@ func TestQuickIncrementalEqualsScratchEverywhere(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		g, m := randomCase(r)
-		lat, err := lattice.New(m)
+		lat, err := lattice.NewCtx(context.Background(), m)
 		if err != nil {
 			return true
 		}

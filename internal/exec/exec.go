@@ -96,7 +96,7 @@ type Evaluator struct {
 	store   *storage.Store
 	lat     *lattice.Lattice
 	maxRows int
-	ctx     context.Context
+	ctx     context.Context // nil means "not cancelable"; see ctxErr
 
 	nodes   []graph.NodeID       // slot → MQG node
 	slotOf  map[graph.NodeID]int // MQG node → slot
@@ -141,7 +141,6 @@ func New(s *storage.Store, l *lattice.Lattice, opts ...Option) *Evaluator {
 		store:   s,
 		lat:     l,
 		maxRows: DefaultMaxRows,
-		ctx:     context.Background(),
 		slotOf:  make(map[graph.NodeID]int),
 		memo:    &memo{results: make(map[lattice.EdgeSet]*Rows)},
 	}
@@ -198,11 +197,24 @@ func (ev *Evaluator) TupleOf(row Row) []graph.NodeID {
 
 // AppendTuple appends row's answer tuple to dst and returns the extended
 // slice; passing dst[:0] across rows makes tuple projection allocation-free.
+//
+//gqbe:hotpath
 func (ev *Evaluator) AppendTuple(dst []graph.NodeID, row Row) []graph.NodeID {
 	for _, s := range ev.entitySlots {
 		dst = append(dst, row[s])
 	}
 	return dst
+}
+
+// ctxErr reports the evaluator's cancellation state. A nil ctx — an
+// evaluator built without WithContext — is never canceled; defaulting the
+// field to a fresh context.Background() would hide a severed cancellation
+// chain from the ctxflow invariant instead of surfacing the caller's bug.
+func (ev *Evaluator) ctxErr() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // Fork returns an evaluator sharing ev's query plan and memoized results but
@@ -295,6 +307,8 @@ func (ev *Evaluator) recycle(rows *Rows) {
 // evaluation never reads the memo — so concurrent forks racing through here
 // in any interleaving produce the same rows for q, differing at most in row
 // order. The parallel search in internal/topk depends on this.
+//
+//gqbe:hotpath
 func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 	if q == 0 {
 		return nil, errors.New("exec: empty query graph")
@@ -309,7 +323,7 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 		ev.memo.mu.Unlock()
 		return rows, nil
 	}
-	if err := ev.ctx.Err(); err != nil {
+	if err := ev.ctxErr(); err != nil {
 		ev.memo.mu.Unlock()
 		return nil, err
 	}
@@ -429,6 +443,8 @@ func (ev *Evaluator) evaluateScratch(q lattice.EdgeSet) (*Rows, error) {
 
 // scanEdge materializes the base relation: one row per pair in edge i's
 // label table, written directly into a flat arena.
+//
+//gqbe:hotpath
 func (ev *Evaluator) scanEdge(i int) (*Rows, error) {
 	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
 	t, ok := ev.store.Table(ev.lat.M.Sub.Edges[i].Label)
@@ -437,12 +453,13 @@ func (ev *Evaluator) scanEdge(i int) (*Rows, error) {
 	}
 	pairs := t.Pairs()
 	if len(pairs) > ev.maxRows {
+		//gqbelint:ignore hotalloc cold error path: the row-budget abort runs at most once per evaluation
 		return nil, fmt.Errorf("%w: base scan of %d rows", ErrTooManyRows, len(pairs))
 	}
 	out := ev.newRows(len(pairs))
 	for n, p := range pairs {
 		if n%cancelCheckInterval == 0 {
-			if err := ev.ctx.Err(); err != nil {
+			if err := ev.ctxErr(); err != nil {
 				return nil, err
 			}
 		}
@@ -467,6 +484,8 @@ func (ev *Evaluator) scanEdge(i int) (*Rows, error) {
 // slots are already bound, the join verifies the edge, extends rows by one
 // new binding, or (never for valid lattice parents) both endpoints are new.
 // Output rows are appended to a fresh arena; the probe rows are not touched.
+//
+//gqbe:hotpath
 func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
 	ss, ds := ev.srcSlot[i], ev.dstSlot[i]
 	t, ok := ev.store.Table(ev.lat.M.Sub.Edges[i].Label)
@@ -479,6 +498,7 @@ func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
 	count := 0
 	// push copies src into the arena, then overwrites slot (when >= 0) with
 	// v — the one-copy equivalent of the old extend-then-append.
+	//gqbelint:ignore hotalloc one closure per join call, amortized over every output row; per-row state lives in the arena
 	push := func(src Row, slot int, v graph.NodeID) error {
 		out.data = append(out.data, src...)
 		if slot >= 0 {
@@ -489,13 +509,13 @@ func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
 			return fmt.Errorf("%w: joining edge %d", ErrTooManyRows, i)
 		}
 		if count%cancelCheckInterval == 0 {
-			return ev.ctx.Err()
+			return ev.ctxErr()
 		}
 		return nil
 	}
 	for n := 0; n < nrows; n++ {
 		if n%cancelCheckInterval == 0 {
-			if err := ev.ctx.Err(); err != nil {
+			if err := ev.ctxErr(); err != nil {
 				return nil, err
 			}
 		}
@@ -549,6 +569,8 @@ func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
 
 // conflicts reports whether binding v would violate injectivity against the
 // row's existing bindings (Def. 3's bijection).
+//
+//gqbe:hotpath
 func (ev *Evaluator) conflicts(row Row, v graph.NodeID) bool {
 	for _, b := range row {
 		if b == v {

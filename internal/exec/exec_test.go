@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -43,7 +44,7 @@ func fig1Fixture(t *testing.T) (*graph.Graph, *lattice.Lattice, *Evaluator) {
 		Depths:  []int{1, 1, 1, 1},
 		Tuple:   []graph.NodeID{n("Jerry Yang"), n("Yahoo!")},
 	}
-	l, err := lattice.New(m)
+	l, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatalf("lattice.New: %v", err)
 	}
@@ -165,7 +166,7 @@ func TestInjectivity(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{g.MustNode("a"), g.MustNode("c")},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestRowBudget(t *testing.T) {
 		Depths:  []int{1},
 		Tuple:   []graph.NodeID{g.MustNode("Jerry Yang"), g.MustNode("Yahoo!")},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestVirtualEntityEvaluation(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{w1, w2},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package experiments
 // least does not improve), tying the mechanism to its measured effect.
 
 import (
+	"context"
 	"testing"
 
 	"gqbe/internal/graph"
@@ -25,11 +26,11 @@ func ablationRun(t *testing.T, s *Suite, id string, m *mqg.MQG) ([]string, int) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatalf("%s: lattice: %v", id, err)
 	}
-	res, err := topk.Search(eng.Store(), lat, [][]graph.NodeID{tuple}, topk.Options{
+	res, err := topk.SearchCtx(context.Background(), eng.Store(), lat, [][]graph.NodeID{tuple}, topk.Options{
 		K: 25, KPrime: s.Params.KPrime, MaxRows: s.Params.MaxRows, MaxEvaluations: s.Params.MaxEvals,
 	})
 	if err != nil {
@@ -63,15 +64,15 @@ func TestAblationNoReduction(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := stats.New(eng.Store())
-		nres, err := neighborhood.Extract(ds.Graph, tuple, s.Params.Depth)
+		nres, err := neighborhood.ExtractCtx(context.Background(), ds.Graph, tuple, s.Params.Depth)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mRed, err := mqg.Discover(st, nres.Reduced, tuple, s.Params.MQGSize)
+		mRed, err := mqg.DiscoverCtx(context.Background(), st, nres.Reduced, tuple, s.Params.MQGSize)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mRaw, err := mqg.Discover(st, nres.Ht, tuple, s.Params.MQGSize)
+		mRaw, err := mqg.DiscoverCtx(context.Background(), st, nres.Ht, tuple, s.Params.MQGSize)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,11 +105,11 @@ func TestAblationFlatWeights(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := stats.New(eng.Store())
-		nres, err := neighborhood.Extract(ds.Graph, tuple, s.Params.Depth)
+		nres, err := neighborhood.ExtractCtx(context.Background(), ds.Graph, tuple, s.Params.Depth)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mW, err := mqg.Discover(st, nres.Reduced, tuple, s.Params.MQGSize)
+		mW, err := mqg.DiscoverCtx(context.Background(), st, nres.Reduced, tuple, s.Params.MQGSize)
 		if err != nil {
 			t.Fatal(err)
 		}

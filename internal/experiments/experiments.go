@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -165,9 +166,9 @@ func (s *Suite) runGQBE(id string, nTuples int) *gqbeRun {
 	var res *core.Result
 	var err error
 	if len(tuples) == 1 {
-		res, err = eng.Query(tuples[0], s.coreOpts())
+		res, err = eng.QueryCtx(context.Background(), tuples[0], s.coreOpts())
 	} else {
-		res, err = eng.QueryMulti(tuples, s.coreOpts())
+		res, err = eng.QueryMultiCtx(context.Background(), tuples, s.coreOpts())
 	}
 	if err != nil {
 		run.Err = err
@@ -206,7 +207,7 @@ func (s *Suite) runGQBEWithTupleIndex(id string, row int) *gqbeRun {
 		s.gqbeRuns[ck] = run
 		return run
 	}
-	res, err := eng.Query(tuple, s.coreOpts())
+	res, err := eng.QueryCtx(context.Background(), tuple, s.coreOpts())
 	if err != nil {
 		run.Err = err
 		s.gqbeRuns[ck] = run
@@ -296,7 +297,7 @@ func (s *Suite) runBaseline(id string) *baselineRun {
 		s.baselineRuns[id] = run
 		return run
 	}
-	lat, err := eng.Lattice(g.MQG)
+	lat, err := eng.Lattice(context.Background(), g.MQG)
 	if err != nil {
 		run.Err = err
 		s.baselineRuns[id] = run

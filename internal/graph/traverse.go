@@ -29,6 +29,8 @@ func NewDistMap(numNodes int) *DistMap {
 }
 
 // Reset clears the table for a new BFS pass.
+//
+//gqbe:hotpath
 func (d *DistMap) Reset() {
 	d.epoch++
 	d.order = d.order[:0]
@@ -44,6 +46,8 @@ func (d *DistMap) Reset() {
 
 // Add records v at distance dv if it is unseen in this epoch, reporting
 // whether it was added. Out-of-range IDs are ignored.
+//
+//gqbe:hotpath
 func (d *DistMap) Add(v NodeID, dv int) bool {
 	if v < 0 || int(v) >= len(d.dist) || d.stamp[v] == d.epoch {
 		return false
@@ -55,6 +59,8 @@ func (d *DistMap) Add(v NodeID, dv int) bool {
 }
 
 // Get returns v's distance and whether v was reached this epoch.
+//
+//gqbe:hotpath
 func (d *DistMap) Get(v NodeID) (int, bool) {
 	if v < 0 || int(v) >= len(d.dist) || d.stamp[v] != d.epoch {
 		return 0, false

@@ -1,6 +1,7 @@
 package kgsynth
 
 import (
+	"context"
 	"testing"
 
 	"gqbe/internal/neighborhood"
@@ -99,7 +100,7 @@ func TestQueryTuplesConnectedWithinD2(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s: %v", d.Name, q.ID, err)
 				}
-				if _, err := neighborhood.Extract(d.Graph, tuple, 2); err != nil {
+				if _, err := neighborhood.ExtractCtx(context.Background(), d.Graph, tuple, 2); err != nil {
 					t.Errorf("%s/%s row %d: neighborhood extraction failed: %v", d.Name, q.ID, ri, err)
 				}
 			}

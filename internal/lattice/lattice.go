@@ -57,13 +57,8 @@ type Lattice struct {
 	minimalTrees []EdgeSet
 }
 
-// New builds the lattice scaffolding for m and enumerates its minimal query
-// trees.
-func New(m *mqg.MQG) (*Lattice, error) {
-	return NewCtx(context.Background(), m)
-}
-
-// NewCtx is New under a cancellation context. Minimal-tree enumeration visits
+// NewCtx builds the lattice scaffolding for m and enumerates its minimal
+// query trees under a cancellation context. Minimal-tree enumeration visits
 // every spanning tree of the MQG — worst-case exponential in the edge budget
 // — so it checks ctx periodically and aborts with the context's error.
 func NewCtx(ctx context.Context, m *mqg.MQG) (*Lattice, error) {
@@ -257,19 +252,22 @@ func (l *Lattice) enumerateMinimalTrees(ctx context.Context) ([]EdgeSet, error) 
 		}
 		return out, nil
 	}
+	// Dedupe with a map but collect in first-seen order: the sort below
+	// already makes the result order-independent, but iterating the map
+	// would still hand a nondeterministically-ordered slice to any future
+	// code inserted before the sort — keep the whole path deterministic.
 	distinct := make(map[EdgeSet]bool)
+	var out []EdgeSet
 	err := l.spanningTrees(ctx, func(tree []int) error {
-		distinct[l.trim(tree)] = true
+		q := l.trim(tree)
+		if q != 0 && !distinct[q] {
+			distinct[q] = true
+			out = append(out, q)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]EdgeSet, 0, len(distinct))
-	for q := range distinct {
-		if q != 0 {
-			out = append(out, q)
-		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil

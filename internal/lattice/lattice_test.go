@@ -1,6 +1,7 @@
 package lattice
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -51,7 +52,7 @@ const (
 
 func newFig9(t *testing.T) *Lattice {
 	t.Helper()
-	l, err := New(fig9())
+	l, err := NewCtx(context.Background(), fig9())
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -204,7 +205,7 @@ func TestSingleEntityMinimalTrees(t *testing.T) {
 		Depths:  []int{1, 1, 1},
 		Tuple:   []graph.NodeID{0},
 	}
-	l, err := New(m)
+	l, err := NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,12 +217,12 @@ func TestSingleEntityMinimalTrees(t *testing.T) {
 }
 
 func TestNewErrors(t *testing.T) {
-	if _, err := New(&mqg.MQG{Sub: &graph.SubGraph{}}); err == nil {
+	if _, err := NewCtx(context.Background(), &mqg.MQG{Sub: &graph.SubGraph{}}); err == nil {
 		t.Error("empty MQG accepted")
 	}
 	m := fig9()
 	m.Tuple = []graph.NodeID{99}
-	if _, err := New(m); err == nil {
+	if _, err := NewCtx(context.Background(), m); err == nil {
 		t.Error("entity outside MQG accepted")
 	}
 	var edges []graph.Edge
@@ -233,7 +234,7 @@ func TestNewErrors(t *testing.T) {
 		ds = append(ds, 1)
 	}
 	big := &mqg.MQG{Sub: graph.NewSubGraph(edges), Weights: ws, Depths: ds, Tuple: []graph.NodeID{0, 70}}
-	if _, err := New(big); err == nil {
+	if _, err := NewCtx(context.Background(), big); err == nil {
 		t.Error("oversized MQG accepted")
 	}
 }
@@ -248,7 +249,7 @@ func TestDisconnectedEntitiesNoTrees(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{0, 5},
 	}
-	if _, err := New(m); err == nil {
+	if _, err := NewCtx(context.Background(), m); err == nil {
 		t.Error("MQG that cannot connect the entities should fail New")
 	}
 }
@@ -285,7 +286,7 @@ func randomMQG(r *rand.Rand) *mqg.MQG {
 // removing any single edge invalidates it.
 func TestQuickMinimalTreesAreMinimal(t *testing.T) {
 	f := func(seed int64) bool {
-		l, err := New(randomMQG(rand.New(rand.NewSource(seed))))
+		l, err := NewCtx(context.Background(), randomMQG(rand.New(rand.NewSource(seed))))
 		if err != nil {
 			return true // disconnected entities: nothing to check
 		}
@@ -310,7 +311,7 @@ func TestQuickMinimalTreesAreMinimal(t *testing.T) {
 // (the lattice's bottom elements truly cover the space).
 func TestQuickEveryValidSubsumesAMinimalTree(t *testing.T) {
 	f := func(seed int64) bool {
-		l, err := New(randomMQG(rand.New(rand.NewSource(seed))))
+		l, err := NewCtx(context.Background(), randomMQG(rand.New(rand.NewSource(seed))))
 		if err != nil {
 			return true
 		}
@@ -339,7 +340,7 @@ func TestQuickEveryValidSubsumesAMinimalTree(t *testing.T) {
 // Property: Parents and Children are mutually consistent on valid nodes.
 func TestQuickParentChildDuality(t *testing.T) {
 	f := func(seed int64) bool {
-		l, err := New(randomMQG(rand.New(rand.NewSource(seed))))
+		l, err := NewCtx(context.Background(), randomMQG(rand.New(rand.NewSource(seed))))
 		if err != nil {
 			return true
 		}
@@ -374,7 +375,7 @@ func TestQuickParentChildDuality(t *testing.T) {
 // subsumption implies strictly smaller structure score.
 func TestQuickSScoreStrictlyMonotone(t *testing.T) {
 	f := func(seed int64) bool {
-		l, err := New(randomMQG(rand.New(rand.NewSource(seed))))
+		l, err := NewCtx(context.Background(), randomMQG(rand.New(rand.NewSource(seed))))
 		if err != nil {
 			return true
 		}

@@ -1,0 +1,16 @@
+// The default analyzer roster cmd/gqbelint runs.
+
+package lint
+
+// DefaultAnalyzers returns the full suite with its production scopes:
+// determinism over the coordinator packages, hotalloc over every
+// //gqbe:hotpath marker, ctxflow over the engine packages, and sentinels
+// over the error-boundary packages.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewDeterminism(),
+		NewHotAlloc(),
+		NewCtxFlow(),
+		NewSentinels(),
+	}
+}

@@ -1,0 +1,228 @@
+// The ctxflow analyzer: end-to-end cancellation must stay end-to-end.
+//
+// Every engine layer from the server down to exec's join batches checks
+// ctx, but that chain only works if each hop actually forwards it. In the
+// engine packages this rule (1) forbids context.Background()/TODO() —
+// fresh contexts sever the caller's deadline, and only cmd binaries and
+// tests may mint one — and (2) inside any function that receives a
+// context.Context, flags calls that drop it: calling F where a sibling
+// FCtx(ctx, ...) exists, or calling a variadic-options constructor whose
+// package provides WithContext without passing it.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow flags severed context chains in the engine packages.
+type CtxFlow struct {
+	// Scope lists the import paths the rule applies to.
+	Scope []string
+}
+
+// ctxflowScope is the default scope: the packages between the public API
+// and the join executor, where a dropped ctx breaks cancellation for
+// every caller above.
+var ctxflowScope = []string{
+	"gqbe/internal/core",
+	"gqbe/internal/lattice",
+	"gqbe/internal/topk",
+	"gqbe/internal/exec",
+	"gqbe/internal/mqg",
+	"gqbe/internal/neighborhood",
+}
+
+// NewCtxFlow returns the analyzer restricted to the given import paths,
+// defaulting to the engine packages.
+func NewCtxFlow(scope ...string) *CtxFlow {
+	if len(scope) == 0 {
+		scope = ctxflowScope
+	}
+	return &CtxFlow{Scope: scope}
+}
+
+// Name implements Analyzer.
+func (*CtxFlow) Name() string { return "ctxflow" }
+
+// Check implements Analyzer.
+func (a *CtxFlow) Check(p *Package) []Diagnostic {
+	if !inScope(a.Scope, p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "ctxflow",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		// Rule 1: no fresh contexts anywhere in the package.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				switch obj.Name() {
+				case "Background", "TODO":
+					report(sel, "context.%s severs the caller's cancellation chain; thread the incoming ctx instead", obj.Name())
+				}
+			}
+			return true
+		})
+		// Rule 2: ctx-bearing functions must forward it.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcTakesCtx(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				a.checkForwarding(p, call, report)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkForwarding flags a call inside a ctx-bearing function that has a
+// ctx-accepting equivalent it fails to use.
+func (a *CtxFlow) checkForwarding(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	if !signatureTakesCtx(sig) && !strings.HasSuffix(fn.Name(), "Ctx") {
+		if sibling := ctxSibling(fn, sig); sibling != "" {
+			report(call, "call to %s drops ctx; use %s", fn.Name(), sibling)
+			return
+		}
+	}
+	// Variadic functional-options constructor: if the callee's package
+	// exports WithContext(ctx) and the call does not pass it, the ctx
+	// dies here.
+	if !sig.Variadic() || signatureTakesCtx(sig) {
+		return
+	}
+	wc := fn.Pkg().Scope().Lookup("WithContext")
+	wcFn, ok := wc.(*types.Func)
+	if !ok {
+		return
+	}
+	wcSig, _ := wcFn.Type().(*types.Signature)
+	if wcSig == nil || wcSig.Params().Len() != 1 || !isContextType(wcSig.Params().At(0).Type()) {
+		return
+	}
+	// The option must be applicable: the variadic element type must match
+	// WithContext's result type.
+	last, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+	if !ok || wcSig.Results().Len() != 1 || !types.Identical(last.Elem(), wcSig.Results().At(0).Type()) {
+		return
+	}
+	for _, arg := range call.Args {
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			if cf := calleeFunc(p, inner); cf != nil && cf.Name() == "WithContext" && cf.Pkg() == wcFn.Pkg() {
+				return
+			}
+		}
+	}
+	report(call, "call to %s.%s without %s.WithContext(ctx) drops ctx", fn.Pkg().Name(), fn.Name(), fn.Pkg().Name())
+}
+
+// ctxSibling returns the name of a ctx-accepting sibling of fn — a
+// function or method named fn.Name()+"Ctx" in the same package (and on
+// the same receiver, for methods) whose signature takes a ctx — or "".
+func ctxSibling(fn *types.Func, sig *types.Signature) string {
+	name := fn.Name() + "Ctx"
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && signatureTakesCtx(msig) {
+				return fmt.Sprintf("(%s).%s", types.TypeString(recv.Type(), types.RelativeTo(fn.Pkg())), name)
+			}
+		}
+		return ""
+	}
+	if obj := fn.Pkg().Scope().Lookup(name); obj != nil {
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && signatureTakesCtx(msig) {
+				return fn.Pkg().Name() + "." + name
+			}
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves the static *types.Func a call targets, or nil for
+// dynamic calls, builtins, and conversions.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// unparen strips parentheses (ast.Unparen needs a newer language version
+// than the module declares).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// funcTakesCtx reports whether fd's parameters include a context.Context.
+func funcTakesCtx(p *Package, fd *ast.FuncDecl) bool {
+	obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig != nil && signatureTakesCtx(sig)
+}
+
+// signatureTakesCtx reports whether any parameter is a context.Context.
+func signatureTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context. The comparison is
+// by package path and name rather than object identity, so it holds even
+// when the source importer typechecks its own copy of a dependency.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,102 @@
+// The determinism analyzer: guards the bit-identical top-k oracle.
+//
+// Answers, tie-breaks, counters, and trace records must be a pure function
+// of the query and the graph — never of map iteration order, the wall
+// clock, randomness, or scheduling. In the coordinator-critical packages
+// (topk, scoring, lattice, mqg) this rule flags every construct whose
+// result can vary run to run; code that provably cannot reach output
+// (e.g. trace-only timing consumed in pop order) documents itself with an
+// ignore directive instead of being silently exempt.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags nondeterministic constructs in packages whose output
+// feeds the bit-identical search oracle.
+type Determinism struct {
+	// Scope lists the import paths the rule applies to.
+	Scope []string
+}
+
+// determinismScope is the default scope: every package the Alg. 2/3
+// coordinator's answers, tie-breaks, and recorded counters flow through.
+var determinismScope = []string{
+	"gqbe/internal/topk",
+	"gqbe/internal/scoring",
+	"gqbe/internal/lattice",
+	"gqbe/internal/mqg",
+}
+
+// NewDeterminism returns the analyzer restricted to the given import
+// paths, defaulting to the coordinator-critical packages.
+func NewDeterminism(scope ...string) *Determinism {
+	if len(scope) == 0 {
+		scope = determinismScope
+	}
+	return &Determinism{Scope: scope}
+}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Check implements Analyzer.
+func (a *Determinism) Check(p *Package) []Diagnostic {
+	if !inScope(a.Scope, p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						report(n, "range over map %s: iteration order is nondeterministic and may reach search output", types.TypeString(t, types.RelativeTo(p.Types)))
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := p.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						report(n, "time.%s: wall-clock reads are nondeterministic in search-critical code", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					report(n, "%s.%s: randomness is forbidden in search-critical code", obj.Pkg().Name(), obj.Name())
+				case "runtime":
+					if obj.Name() == "NumGoroutine" {
+						report(n, "runtime.NumGoroutine: scheduler state must not influence search-critical code")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inScope reports whether path is one of the scoped import paths.
+func inScope(scope []string, path string) bool {
+	for _, s := range scope {
+		if s == path {
+			return true
+		}
+	}
+	return false
+}

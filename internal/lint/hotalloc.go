@@ -1,0 +1,193 @@
+// The hotalloc analyzer: keeps //gqbe:hotpath functions allocation-free.
+//
+// The flattened data plane (CSR storage probes, arena-backed exec rows,
+// FNV tuple hashing, epoch-stamped DistMap) earns its speedup by never
+// allocating per row. Functions carrying the //gqbe:hotpath doc-comment
+// directive are held to that bar syntactically: no fmt calls, no
+// string<->[]byte conversions, no map/slice composite literals or
+// heap-escaping &T{} literals, no make/new, no closures, and no boxing a
+// concrete value into an interface parameter. Constructs that allocate
+// deliberately (amortized growth, cold error paths) carry an ignore
+// directive with the justification inline.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags allocation-prone constructs inside functions marked
+// //gqbe:hotpath. It applies to every package: the marker, not the
+// package, opts a function in.
+type HotAlloc struct{}
+
+// NewHotAlloc returns the analyzer.
+func NewHotAlloc() *HotAlloc { return &HotAlloc{} }
+
+// Name implements Analyzer.
+func (*HotAlloc) Name() string { return "hotalloc" }
+
+// Check implements Analyzer.
+func (a *HotAlloc) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			out = append(out, a.checkFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+// checkFunc walks one marked function body.
+func (a *HotAlloc) checkFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "hotalloc",
+			Message: fmt.Sprintf(format, args...) + fmt.Sprintf(" in hotpath %s", fd.Name.Name),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			a.checkCall(p, n, report)
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n, "map literal allocates")
+			case *types.Slice:
+				report(n, "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			report(n, "closure allocates")
+			return false // the closure body is cold relative to the marker
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall classifies one call inside a marked body: fmt.* calls,
+// string<->[]byte conversions, make/new, and concrete-to-interface
+// argument boxing.
+func (a *HotAlloc) checkCall(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	// Conversions: T(x) where T is a type. Only string<->[]byte pairs
+	// allocate a copy; numeric and named-type conversions are free.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			dst := tv.Type
+			src := p.Info.TypeOf(call.Args[0])
+			if src != nil {
+				if isString(dst) && isByteSlice(src) {
+					report(call, "[]byte-to-string conversion copies")
+				}
+				if isByteSlice(dst) && isString(src) {
+					report(call, "string-to-[]byte conversion copies")
+				}
+			}
+		}
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call, "make allocates")
+				return
+			case "new":
+				report(call, "new allocates")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			report(call, "call to fmt.%s allocates and reflects", obj.Name())
+			return
+		}
+	}
+	// Concrete-to-interface argument boxing. Resolve the callee signature
+	// and compare each argument's concrete type against an interface
+	// parameter; passing an interface (or nil) through is free.
+	sig := calleeSignature(p, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // slice passed through as-is
+			} else if last, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = last.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, ok := at.Underlying().(*types.Interface); ok {
+			continue
+		}
+		report(arg, "passing %s as interface %s boxes the value",
+			types.TypeString(at, types.RelativeTo(p.Types)),
+			types.TypeString(pt, types.RelativeTo(p.Types)))
+	}
+}
+
+// calleeSignature resolves the static signature of a call, or nil for
+// builtins and dynamic calls through function values we cannot see.
+func calleeSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	t := p.Info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

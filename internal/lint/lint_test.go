@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// loadFixture typechecks one testdata package under a fake import path so
+// scoped analyzers can be pointed at it.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	p, err := NewLoader().LoadDir(filepath.Join("testdata", name), "fix/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if p == nil {
+		t.Fatalf("fixture %s has no package", name)
+	}
+	return p
+}
+
+// renderDiags formats diagnostics in the golden file:line:rule form.
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule)
+	}
+	return b.String()
+}
+
+// runGolden runs the analyzer (through Run, so ignore directives apply)
+// over the fixture and compares against testdata/<name>.golden.
+func runGolden(t *testing.T, name string, a Analyzer) {
+	t.Helper()
+	p := loadFixture(t, name)
+	got := renderDiags(Run([]*Package{p}, []Analyzer{a}))
+	goldenPath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("updating %s: %v", goldenPath, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create): %v", goldenPath, err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, "determinism", NewDeterminism("fix/determinism"))
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, "hotalloc", NewHotAlloc())
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", NewCtxFlow("fix/ctxflow"))
+}
+
+func TestSentinelsGolden(t *testing.T) {
+	runGolden(t, "sentinels", NewSentinels("fix/sentinels"))
+}
+
+func TestIgnoreMechanics(t *testing.T) {
+	p := loadFixture(t, "ignores")
+	diags := Run([]*Package{p}, []Analyzer{NewDeterminism("fix/ignores")})
+
+	byRule := map[string][]Diagnostic{}
+	for _, d := range diags {
+		byRule[d.Rule] = append(byRule[d.Rule], d)
+	}
+	// First has two identical findings one line apart; the trailing ignore
+	// must suppress exactly the one on its own line. Second's finding is
+	// suppressed from the preceding line. So exactly one determinism
+	// finding survives: First's second range.
+	if got := len(byRule["determinism"]); got != 1 {
+		t.Errorf("want exactly 1 surviving determinism finding, got %d: %v", got, byRule["determinism"])
+	}
+	// The ignore over a slice range suppresses nothing and must be
+	// reported as unused.
+	if got := len(byRule["unused-ignore"]); got != 1 {
+		t.Errorf("want exactly 1 unused-ignore, got %d: %v", got, byRule["unused-ignore"])
+	}
+	// The reason-less directive is malformed.
+	if got := len(byRule["bad-ignore"]); got != 1 {
+		t.Errorf("want exactly 1 bad-ignore, got %d: %v", got, byRule["bad-ignore"])
+	}
+	if len(diags) != 3 {
+		t.Errorf("want 3 total diagnostics, got %d:\n%s", len(diags), renderDiags(diags))
+	}
+	// Golden pins the exact lines.
+	got := renderDiags(diags)
+	goldenPath := filepath.Join("testdata", "ignores.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("updating %s: %v", goldenPath, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create): %v", goldenPath, err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCleanTree is the acceptance gate in test form: the full suite over
+// the whole repository must report nothing.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the entire module; skipped in -short")
+	}
+	pkgs, err := NewLoader().LoadTree(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags := Run(pkgs, DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestDefaultAnalyzers(t *testing.T) {
+	as := DefaultAnalyzers()
+	if len(as) < 4 {
+		t.Fatalf("want at least 4 analyzers, got %d", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	for _, want := range []string{"determinism", "hotalloc", "ctxflow", "sentinels"} {
+		if !seen[want] {
+			t.Errorf("missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// The sentinels analyzer: boundary errors must stay classifiable.
+//
+// snapio's corruption errors, triples' parse errors, and the server's
+// request-validation errors all cross package boundaries where callers
+// dispatch on errors.Is/As (snapshot fallback, HTTP status mapping). That
+// only works if every error either is a package-level typed sentinel or
+// wraps one with %w. This rule flags the two ways the chain breaks:
+// errors.New inside a function body (an anonymous, unmatchable error
+// minted per call) and fmt.Errorf whose format string carries no %w verb
+// (context added, chain severed).
+
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Sentinels flags unclassifiable errors in the boundary packages.
+type Sentinels struct {
+	// Scope lists the import paths the rule applies to.
+	Scope []string
+}
+
+// sentinelsScope is the default scope: the packages whose errors cross a
+// boundary callers classify with errors.Is/As.
+var sentinelsScope = []string{
+	"gqbe/internal/snapio",
+	"gqbe/internal/triples",
+	"gqbe/internal/server",
+}
+
+// NewSentinels returns the analyzer restricted to the given import paths,
+// defaulting to the boundary packages.
+func NewSentinels(scope ...string) *Sentinels {
+	if len(scope) == 0 {
+		scope = sentinelsScope
+	}
+	return &Sentinels{Scope: scope}
+}
+
+// Name implements Analyzer.
+func (*Sentinels) Name() string { return "sentinels" }
+
+// Check implements Analyzer.
+func (a *Sentinels) Check(p *Package) []Diagnostic {
+	if !inScope(a.Scope, p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "sentinels",
+			Message: msg,
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			// Package-level var blocks may mint sentinels with errors.New —
+			// that is exactly where sentinels come from — but fmt.Errorf
+			// without %w is wrong at any level.
+			_, atPackageLevel := decl.(*ast.GenDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					if !atPackageLevel {
+						report(call, "errors.New inside a function mints an unmatchable error; define a package-level sentinel or wrap one with %w")
+					}
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					format, ok := formatLiteral(p, call)
+					if !ok {
+						report(call, "fmt.Errorf with a non-constant format cannot be checked for %w; use a constant format")
+						break
+					}
+					if !strings.Contains(format, "%w") {
+						report(call, "fmt.Errorf without %w severs the error chain; wrap a typed sentinel")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// formatLiteral extracts the constant string value of fmt.Errorf's first
+// argument, following constants the typechecker folded.
+func formatLiteral(p *Package, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

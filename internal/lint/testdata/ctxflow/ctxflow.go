@@ -1,0 +1,74 @@
+// Package ctxfix exercises the ctxflow analyzer: fresh contexts, dropped
+// Ctx siblings, and option-style constructors missing WithContext are
+// findings; proper forwarding is not.
+package ctxfix
+
+import "context"
+
+// Runner is an option-configured worker.
+type Runner struct{ ctx context.Context }
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithContext supplies the Runner's context.
+func WithContext(ctx context.Context) Option {
+	return func(r *Runner) { r.ctx = ctx }
+}
+
+// NewRunner builds a Runner from options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Work runs without a context.
+func Work(n int) int { return n }
+
+// WorkCtx runs under a context.
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Engine has a Ctx method pair.
+type Engine struct{}
+
+// Query runs without a context.
+func (e *Engine) Query(n int) int { return n }
+
+// QueryCtx runs under a context.
+func (e *Engine) QueryCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Fresh mints a context, severing any caller's deadline.
+func Fresh() context.Context {
+	return context.Background()
+}
+
+// Driver receives a ctx and drops it three ways.
+func Driver(ctx context.Context, e *Engine, n int) int {
+	r := NewRunner()
+	if r == nil {
+		return 0
+	}
+	return Work(n) + e.Query(n)
+}
+
+// Good forwards the ctx everywhere.
+func Good(ctx context.Context, e *Engine, n int) int {
+	r := NewRunner(WithContext(ctx))
+	if r == nil {
+		return 0
+	}
+	return WorkCtx(ctx, n) + e.QueryCtx(ctx, n)
+}

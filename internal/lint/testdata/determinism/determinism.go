@@ -1,0 +1,47 @@
+// Package determ exercises the determinism analyzer: map ranges, clock
+// reads, and randomness are findings; slice ranges and ignored canaries
+// are not.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Scores sums key lengths in map iteration order.
+func Scores(m map[string]int) int {
+	total := 0
+	for k := range m {
+		total += len(k)
+	}
+	return total
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed measures a duration.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Jitter rolls a die.
+func Jitter() int {
+	return rand.Intn(6)
+}
+
+// Allowed ranges over a slice (fine) and over a map under a justified
+// ignore directive.
+func Allowed(xs []int, m map[int]int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	//gqbelint:ignore determinism canary proving suppression works
+	for k := range m {
+		return k
+	}
+	return total
+}

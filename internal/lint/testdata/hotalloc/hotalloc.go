@@ -1,0 +1,69 @@
+// Package hot exercises the hotalloc analyzer: every banned construct
+// inside a //gqbe:hotpath function is a finding; unmarked functions and
+// value struct literals are not.
+package hot
+
+import "fmt"
+
+// pair is a value type used by the fixtures.
+type pair struct{ a, b int }
+
+// Sink accepts anything, forcing interface boxing at call sites.
+func Sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// cold is unmarked: allocation-prone constructs are fine here.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Probe exercises every banned construct.
+//
+//gqbe:hotpath
+func Probe(key string, m map[string][]byte) int {
+	b := []byte(key)
+	s := string(m[key])
+	t := fmt.Sprint(len(b))
+	xs := make([]int, 4)
+	ys := []int{1, 2}
+	zs := map[int]int{3: 4}
+	p := &pair{a: 5}
+	f := func() int { return 6 }
+	n := Sink(len(s) + len(t) + xs[0] + ys[1] + zs[3] + p.a + f())
+	v := pair{a: 7}
+	return v.a + n + cold(1)[0]
+}
+
+// Clean is hot and allocation-free: index math, slicing, and calls that
+// pass concrete values to concrete parameters.
+//
+//gqbe:hotpath
+func Clean(xs []int32, i int) int32 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	half := xs[i/2 : len(xs)]
+	return xs[i] + half[0]
+}
+
+// Grow is hot; its one allocation is amortized geometric growth and is
+// suppressed with a written reason.
+//
+//gqbe:hotpath
+func Grow(dst []int, n int) []int {
+	if cap(dst)-len(dst) < n {
+		//gqbelint:ignore hotalloc amortized geometric growth, not per-row
+		grown := make([]int, len(dst), cap(dst)*2+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[:len(dst)+n]
+}

@@ -1,0 +1,35 @@
+// Package ignfix exercises the ignore-directive mechanics: trailing and
+// preceding-line suppression, an unused ignore, and a malformed one.
+package ignfix
+
+// First has two map ranges; the trailing directive suppresses exactly the
+// first.
+func First(m map[int]int) int {
+	for k := range m { //gqbelint:ignore determinism canary: trailing suppression
+		return k
+	}
+	for k := range m {
+		return k + 1
+	}
+	return 0
+}
+
+// Second suppresses from the preceding line.
+func Second(m map[int]int) int {
+	//gqbelint:ignore determinism canary: preceding-line suppression
+	for k := range m {
+		return k
+	}
+	return 0
+}
+
+// Third carries an unused ignore (the range is over a slice) and a
+// malformed one (no reason).
+func Third(xs []int) int {
+	//gqbelint:ignore determinism slice ranges are deterministic, nothing fires
+	for _, x := range xs {
+		return x
+	}
+	//gqbelint:ignore determinism
+	return 0
+}

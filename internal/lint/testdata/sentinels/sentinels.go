@@ -1,0 +1,37 @@
+// Package sentfix exercises the sentinels analyzer: function-local
+// errors.New, fmt.Errorf without %w, and non-constant formats are
+// findings; package-level sentinels and %w wrapping are not.
+package sentfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's typed sentinel.
+var ErrBad = errors.New("bad input")
+
+// errNoWrap severs the chain even at package level.
+var errNoWrap = fmt.Errorf("no wrap here")
+
+// Check validates n against the fixture's rules.
+func Check(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	if n > 10 {
+		return fmt.Errorf("too big: %d", n)
+	}
+	if n == 7 {
+		return fmt.Errorf("unlucky %d: %w", n, ErrBad)
+	}
+	if n == 3 {
+		return errNoWrap
+	}
+	return nil
+}
+
+// Dynamic formats with a caller-supplied string.
+func Dynamic(f string) error {
+	return fmt.Errorf(f)
+}

@@ -9,22 +9,17 @@ import (
 	"gqbe/internal/graph"
 )
 
-// Merge combines the individual MQGs of multiple query tuples into one
+// MergeCtx combines the individual MQGs of multiple query tuples into one
 // merged, re-weighted MQG (§III-D). Each tuple's query entities are replaced
 // by virtual entities w1..wn (shared across tuples), vertices and edges are
 // unioned, and an edge that appears in c of the virtual MQGs receives weight
 // c·wmax(e), where wmax is its maximal weight among them. If the merged
 // graph exceeds the target size r, it is trimmed by the same greedy used for
 // single-tuple discovery (Alg. 1), with the virtual entities as the query
-// tuple.
-func Merge(mqgs []*MQG, r int) (*MQG, error) {
-	return MergeCtx(context.Background(), mqgs, r)
-}
-
-// MergeCtx is Merge under a cancellation context, observed when the merged
-// graph exceeds the budget and is trimmed (via discoverWeighted's per-part
-// checks); the union itself is over already-budget-bounded MQGs and is
-// cheap enough to run to completion.
+// tuple. The cancellation context is observed when the merged graph exceeds
+// the budget and is trimmed (via discoverWeighted's per-part checks); the
+// union itself is over already-budget-bounded MQGs and is cheap enough to
+// run to completion.
 func MergeCtx(ctx context.Context, mqgs []*MQG, r int) (*MQG, error) {
 	if len(mqgs) == 0 {
 		return nil, errors.New("mqg: no MQGs to merge")

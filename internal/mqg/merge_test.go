@@ -1,6 +1,7 @@
 package mqg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,13 +41,13 @@ func TestNodeName(t *testing.T) {
 func discoverFor(t *testing.T, g *graph.Graph, st *stats.Stats, r int, names ...string) *MQG {
 	t.Helper()
 	tuple := testkg.Tuple(g, names...)
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatalf("Extract(%v): %v", names, err)
 	}
-	m, err := Discover(st, nres.Reduced, tuple, r)
+	m, err := DiscoverCtx(context.Background(), st, nres.Reduced, tuple, r)
 	if err != nil {
-		t.Fatalf("Discover(%v): %v", names, err)
+		t.Fatalf("DiscoverCtx(context.Background(), %v): %v", names, err)
 	}
 	return m
 }
@@ -59,7 +60,7 @@ func TestMergeFig8Scenario(t *testing.T) {
 	st := stats.New(storage.Build(g))
 	m1 := discoverFor(t, g, st, 10, "Steve Wozniak", "Apple Inc.")
 	m2 := discoverFor(t, g, st, 10, "Jerry Yang", "Yahoo!")
-	merged, err := Merge([]*MQG{m1, m2}, 15)
+	merged, err := MergeCtx(context.Background(), []*MQG{m1, m2}, 15)
 	if err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
@@ -99,7 +100,7 @@ func TestMergeSharedNonEntityNodesMerge(t *testing.T) {
 	if m1.WeightOf(e1) == 0 || m2.WeightOf(e2) == 0 {
 		t.Skip("places_lived did not survive MQG trimming in this configuration")
 	}
-	merged, err := Merge([]*MQG{m1, m2}, 20)
+	merged, err := MergeCtx(context.Background(), []*MQG{m1, m2}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestMergeHeadquarteredNotMerged(t *testing.T) {
 	m2 := discoverFor(t, g, st, 10, "Jerry Yang", "Yahoo!")
 	hq, _ := g.Label("headquartered_in")
 	cup, sun := g.MustNode("Cupertino"), g.MustNode("Sunnyvale")
-	merged, err := Merge([]*MQG{m1, m2}, 25)
+	merged, err := MergeCtx(context.Background(), []*MQG{m1, m2}, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestMergeTrimsToBudget(t *testing.T) {
 	st := stats.New(storage.Build(g))
 	m1 := discoverFor(t, g, st, 10, "Steve Wozniak", "Apple Inc.")
 	m2 := discoverFor(t, g, st, 10, "Jerry Yang", "Yahoo!")
-	merged, err := Merge([]*MQG{m1, m2}, 5)
+	merged, err := MergeCtx(context.Background(), []*MQG{m1, m2}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestMergeSingleMQGIsIdentityModuloVirtual(t *testing.T) {
 	g := testkg.Fig1()
 	st := stats.New(storage.Build(g))
 	m := discoverFor(t, g, st, 10, "Jerry Yang", "Yahoo!")
-	merged, err := Merge([]*MQG{m}, 100)
+	merged, err := MergeCtx(context.Background(), []*MQG{m}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,15 +177,15 @@ func TestMergeSingleMQGIsIdentityModuloVirtual(t *testing.T) {
 func TestMergeErrors(t *testing.T) {
 	g := testkg.Fig1()
 	st := stats.New(storage.Build(g))
-	if _, err := Merge(nil, 10); err == nil {
+	if _, err := MergeCtx(context.Background(), nil, 10); err == nil {
 		t.Error("empty merge accepted")
 	}
 	m2 := discoverFor(t, g, st, 10, "Jerry Yang", "Yahoo!")
 	m1 := discoverFor(t, g, st, 10, "Stanford")
-	if _, err := Merge([]*MQG{m1, m2}, 10); err == nil {
+	if _, err := MergeCtx(context.Background(), []*MQG{m1, m2}, 10); err == nil {
 		t.Error("mismatched tuple sizes accepted")
 	}
-	if _, err := Merge([]*MQG{m2}, 0); err == nil {
+	if _, err := MergeCtx(context.Background(), []*MQG{m2}, 0); err == nil {
 		t.Error("r=0 accepted")
 	}
 }

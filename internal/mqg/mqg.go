@@ -93,15 +93,10 @@ func NodeName(g *graph.Graph, v graph.NodeID) string {
 	return g.Name(v)
 }
 
-// Discover runs Alg. 1 over the reduced neighborhood graph: it decomposes
+// DiscoverCtx runs Alg. 1 over the reduced neighborhood graph: it decomposes
 // the graph into core and per-entity subgraphs, greedily trims each to a
 // balanced share of the edge budget r, unions the results, and re-weights
-// the surviving edges with the depth-discounted Eq. 8.
-func Discover(st *stats.Stats, reduced *graph.SubGraph, tuple []graph.NodeID, r int) (*MQG, error) {
-	return DiscoverCtx(context.Background(), st, reduced, tuple, r)
-}
-
-// DiscoverCtx is Discover under a cancellation context. Alg. 1's cost grows
+// the surviving edges with the depth-discounted Eq. 8. Alg. 1's cost grows
 // with the reduced neighborhood, so the weighting and trimming phases check
 // ctx between scans; the largest uncancellable chunk is one pass over the
 // reduced edges.
@@ -231,6 +226,7 @@ func decompose(reduced *graph.SubGraph, weights []float64, tuple []graph.NodeID)
 		if len(s) != 1 {
 			return 0, false
 		}
+		//gqbelint:ignore determinism single-element set: the range yields its only key, no order involved
 		for v := range s {
 			return v, true
 		}

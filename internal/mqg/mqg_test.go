@@ -1,6 +1,7 @@
 package mqg
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,11 +18,11 @@ func fig1MQG(t *testing.T, r int, names ...string) (*graph.Graph, *stats.Stats, 
 	g := testkg.Fig1()
 	st := stats.New(storage.Build(g))
 	tuple := testkg.Tuple(g, names...)
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatalf("Extract: %v", err)
 	}
-	m, err := Discover(st, nres.Reduced, tuple, r)
+	m, err := DiscoverCtx(context.Background(), st, nres.Reduced, tuple, r)
 	if err != nil {
 		t.Fatalf("Discover: %v", err)
 	}
@@ -138,21 +139,21 @@ func TestDiscoverErrors(t *testing.T) {
 	g := testkg.Fig1()
 	st := stats.New(storage.Build(g))
 	tuple := testkg.Tuple(g, "Jerry Yang", "Yahoo!")
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Discover(st, nres.Reduced, nil, 10); err == nil {
+	if _, err := DiscoverCtx(context.Background(), st, nres.Reduced, nil, 10); err == nil {
 		t.Error("empty tuple accepted")
 	}
-	if _, err := Discover(st, nres.Reduced, tuple, 0); err == nil {
+	if _, err := DiscoverCtx(context.Background(), st, nres.Reduced, tuple, 0); err == nil {
 		t.Error("r=0 accepted")
 	}
-	if _, err := Discover(st, &graph.SubGraph{}, tuple, 10); err == nil {
+	if _, err := DiscoverCtx(context.Background(), st, &graph.SubGraph{}, tuple, 10); err == nil {
 		t.Error("empty reduced graph accepted")
 	}
 	other := testkg.Tuple(g, "Redmond")
-	if _, err := Discover(st, nres.Reduced, other, 10); err == nil {
+	if _, err := DiscoverCtx(context.Background(), st, nres.Reduced, other, 10); err == nil {
 		t.Error("tuple outside the reduced graph accepted")
 	}
 }
@@ -308,11 +309,11 @@ func TestDiscoverBalancedAcrossEntities(t *testing.T) {
 	g.AddEdge("B", "rareB2", "b1")
 	st := stats.New(storage.Build(g))
 	tuple := []graph.NodeID{g.MustNode("A"), g.MustNode("B")}
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Discover(st, nres.Reduced, tuple, 9)
+	m, err := DiscoverCtx(context.Background(), st, nres.Reduced, tuple, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,13 +65,8 @@ func (r *Result) Release() {
 	}
 }
 
-// Extract builds H_t and H'_t for the query tuple over data graph g with
-// path-length threshold d.
-func Extract(g *graph.Graph, tuple []graph.NodeID, d int) (*Result, error) {
-	return ExtractCtx(context.Background(), g, tuple, d)
-}
-
-// ExtractCtx is Extract under a cancellation context. Extraction cost grows
+// ExtractCtx builds H_t and H'_t for the query tuple over data graph g with
+// path-length threshold d, under a cancellation context. Extraction cost grows
 // with the d-hop neighborhood (the whole graph, for hub-adjacent tuples at
 // larger d), so the edge and reduction scans check ctx periodically; the
 // largest uncancellable chunk is one BFS distance pass.

@@ -1,6 +1,7 @@
 package neighborhood
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -11,9 +12,9 @@ import (
 func extract(t *testing.T, names []string, d int) (*graph.Graph, *Result) {
 	t.Helper()
 	g := testkg.Fig1()
-	res, err := Extract(g, testkg.Tuple(g, names...), d)
+	res, err := ExtractCtx(context.Background(), g, testkg.Tuple(g, names...), d)
 	if err != nil {
-		t.Fatalf("Extract(%v, d=%d): %v", names, d, err)
+		t.Fatalf("ExtractCtx(context.Background(), %v, d=%d): %v", names, d, err)
 	}
 	return g, res
 }
@@ -68,7 +69,7 @@ func TestExtractEdgeRule(t *testing.T) {
 	g.AddEdge("m1", "b", "f1") // f1 at distance 2
 	g.AddEdge("m2", "b", "f2") // f2 at distance 2
 	g.AddEdge("f1", "c", "f2") // both ends at distance 2
-	res, err := Extract(g, []graph.NodeID{g.MustNode("q")}, 2)
+	res, err := ExtractCtx(context.Background(), g, []graph.NodeID{g.MustNode("q")}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,17 +165,17 @@ func TestTheorem2PathEdgesSurvive(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	g := testkg.Fig1()
-	if _, err := Extract(g, nil, 2); err == nil {
+	if _, err := ExtractCtx(context.Background(), g, nil, 2); err == nil {
 		t.Error("empty tuple accepted")
 	}
-	if _, err := Extract(g, testkg.Tuple(g, "Jerry Yang"), 0); err == nil {
+	if _, err := ExtractCtx(context.Background(), g, testkg.Tuple(g, "Jerry Yang"), 0); err == nil {
 		t.Error("d=0 accepted")
 	}
-	if _, err := Extract(g, []graph.NodeID{9999}, 2); err == nil {
+	if _, err := ExtractCtx(context.Background(), g, []graph.NodeID{9999}, 2); err == nil {
 		t.Error("out-of-range entity accepted")
 	}
 	jy := g.MustNode("Jerry Yang")
-	if _, err := Extract(g, []graph.NodeID{jy, jy}, 2); err == nil {
+	if _, err := ExtractCtx(context.Background(), g, []graph.NodeID{jy, jy}, 2); err == nil {
 		t.Error("duplicate query entity accepted")
 	}
 }
@@ -183,7 +184,7 @@ func TestDisconnectedEntities(t *testing.T) {
 	g := graph.New()
 	g.AddEdge("a", "l", "b")
 	g.AddEdge("x", "l", "y")
-	_, err := Extract(g, []graph.NodeID{g.MustNode("a"), g.MustNode("x")}, 2)
+	_, err := ExtractCtx(context.Background(), g, []graph.NodeID{g.MustNode("a"), g.MustNode("x")}, 2)
 	if !errors.Is(err, ErrDisconnected) {
 		t.Errorf("want ErrDisconnected, got %v", err)
 	}
@@ -193,7 +194,7 @@ func TestIsolatedSingleEntity(t *testing.T) {
 	g := graph.New()
 	g.AddNode("lonely")
 	g.AddEdge("a", "l", "b")
-	_, err := Extract(g, []graph.NodeID{g.MustNode("lonely")}, 2)
+	_, err := ExtractCtx(context.Background(), g, []graph.NodeID{g.MustNode("lonely")}, 2)
 	if !errors.Is(err, ErrDisconnected) {
 		t.Errorf("want ErrDisconnected for isolated entity, got %v", err)
 	}
@@ -218,7 +219,7 @@ func TestReductionShrinksFanStructures(t *testing.T) {
 	for _, p := range []string{"p1", "p2", "p3", "p4", "p5"} {
 		g.AddEdge(p, "works_at", "Hub")
 	}
-	res, err := Extract(g, []graph.NodeID{g.MustNode("q")}, 2)
+	res, err := ExtractCtx(context.Background(), g, []graph.NodeID{g.MustNode("q")}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ness
 
 import (
+	"context"
 	"testing"
 
 	"gqbe/internal/graph"
@@ -17,11 +18,11 @@ func fixture(t *testing.T, names ...string) (*graph.Graph, *storage.Store, *mqg.
 	store := storage.Build(g)
 	st := stats.New(store)
 	tuple := testkg.Tuple(g, names...)
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := mqg.Discover(st, nres.Reduced, tuple, 10)
+	m, err := mqg.DiscoverCtx(context.Background(), st, nres.Reduced, tuple, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,8 @@ func (s *Scorer) SScore(q lattice.EdgeSet) float64 { return s.lat.SScore(q) }
 // match(e, e') over Q's edges (Eq. 6). A query node u matches identically
 // when the row binds its slot to u itself; virtual entities (negative IDs)
 // can never match identically.
+//
+//gqbe:hotpath
 func (s *Scorer) CScore(q lattice.EdgeSet, row exec.Row) float64 {
 	total := 0.0
 	// Iterate q's bits directly: CScore runs once per absorbed row, and
@@ -71,6 +73,8 @@ func (s *Scorer) CScore(q lattice.EdgeSet, row exec.Row) float64 {
 }
 
 // Full returns score_Q(A) = s_score(Q) + c_score_Q(A) (Eq. 5).
+//
+//gqbe:hotpath
 func (s *Scorer) Full(q lattice.EdgeSet, row exec.Row) float64 {
 	return s.SScore(q) + s.CScore(q, row)
 }

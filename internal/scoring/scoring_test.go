@@ -1,6 +1,7 @@
 package scoring
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,7 +41,7 @@ func fixture(t *testing.T) (*graph.Graph, *lattice.Lattice, *exec.Evaluator, *Sc
 		Depths:  []int{1, 1, 1, 1},
 		Tuple:   []graph.NodeID{n("Jerry Yang"), n("Yahoo!")},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestVirtualEntitiesNeverMatchIdentically(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{w1, w2},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeQuery runs arbitrary JSON through the same decode+normalize path
+// the query handler uses and checks the admission invariants the rest of the
+// server relies on: whatever normalize accepts has 1..maxClientTuples tuples
+// of one shared arity in 1..maxClientArity, no empty entity names, and every
+// option within its client-facing cap.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte(`{"tuple":["Jobs","Apple"]}`))
+	f.Add([]byte(`{"tuples":[["a","b"],["c","d"]],"k":5}`))
+	f.Add([]byte(`{"tuple":["a"],"k":999999,"kprime":999999,"depth":99,"mqg_size":999,"max_rows":999999999}`))
+	f.Add([]byte(`{"tuple":[]}`))
+	f.Add([]byte(`{"tuple":["a"],"tuples":[["b"]]}`))
+	f.Add([]byte(`{"tuples":[["a",""],["b","c"]]}`))
+	f.Add([]byte(`{"tuple":["a"],"k":-1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"tuples":[["a","b"],["c"]]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req queryRequest
+		if err := dec.Decode(&req); err != nil {
+			return // malformed JSON is the handler's 400 path, nothing to check
+		}
+		tuples, opts, err := req.normalize()
+		if err != nil {
+			return // rejected requests are covered by TestNormalizeSentinels
+		}
+		if len(tuples) == 0 || len(tuples) > maxClientTuples {
+			t.Fatalf("normalize accepted %d tuples", len(tuples))
+		}
+		arity := len(tuples[0])
+		if arity == 0 || arity > maxClientArity {
+			t.Fatalf("normalize accepted arity %d", arity)
+		}
+		for _, tu := range tuples {
+			if len(tu) != arity {
+				t.Fatalf("mixed arities %d and %d passed normalize", arity, len(tu))
+			}
+			for _, e := range tu {
+				if e == "" {
+					t.Fatal("empty entity name passed normalize")
+				}
+			}
+		}
+		caps := []struct {
+			name string
+			got  int
+			max  int
+		}{
+			{"k", opts.K, maxClientK},
+			{"kprime", opts.KPrime, maxClientKPrime},
+			{"depth", opts.Depth, maxClientDepth},
+			{"mqg_size", opts.MQGSize, maxClientMQGSize},
+			{"max_rows", opts.MaxRows, maxClientRows},
+		}
+		for _, c := range caps {
+			if c.got <= 0 || c.got > c.max {
+				t.Fatalf("normalized %s = %d, want in [1, %d]", c.name, c.got, c.max)
+			}
+		}
+		if opts.MaxEvaluations < 0 {
+			t.Fatalf("normalized max_evaluations = %d, want non-negative", opts.MaxEvaluations)
+		}
+	})
+}

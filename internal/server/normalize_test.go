@@ -1,0 +1,55 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNormalizeSentinels is the regression test for the sentinels fix: every
+// validation failure out of normalize must be matchable with errors.Is
+// against a package-level sentinel (previously several were anonymous
+// errors.New values minted per request), and the wrapped variants must keep
+// carrying the offending numbers in their message.
+func TestNormalizeSentinels(t *testing.T) {
+	wide := make([]string, maxClientArity+1)
+	for i := range wide {
+		wide[i] = "e"
+	}
+	many := make([][]string, maxClientTuples+1)
+	for i := range many {
+		many[i] = []string{"a", "b"}
+	}
+	cases := []struct {
+		name    string
+		req     queryRequest
+		want    error
+		wantMsg string // substring the rendered error must keep
+	}{
+		{"both forms", queryRequest{Tuple: []string{"a"}, Tuples: [][]string{{"b"}}}, errTupleForms, `"tuple" or "tuples"`},
+		{"neither form", queryRequest{}, errTupleRequired, "required"},
+		{"too many tuples", queryRequest{Tuples: many}, errTooManyTuples, "got 17"},
+		{"empty tuple", queryRequest{Tuples: [][]string{{}}}, errEmptyTuple, "empty query tuple"},
+		{"tuple too wide", queryRequest{Tuple: wide}, errTupleTooWide, "got 9"},
+		{"arity mismatch", queryRequest{Tuples: [][]string{{"a", "b"}, {"c"}}}, errArityMismatch, "arity"},
+		{"empty entity", queryRequest{Tuple: []string{"a", ""}}, errEmptyEntity, "empty entity name"},
+		{"negative option", queryRequest{Tuple: []string{"a"}, K: -1}, errNegativeOption, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := tc.req.normalize()
+			if err == nil {
+				t.Fatal("normalize succeeded, want error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not contain %q", err, tc.wantMsg)
+			}
+		})
+	}
+	if _, _, err := (&queryRequest{Tuple: []string{"a", "b"}}).normalize(); err != nil {
+		t.Fatalf("valid request failed: %v", err)
+	}
+}

@@ -371,6 +371,22 @@ type queryResponse struct {
 	Deduped bool `json:"deduped,omitempty"`
 }
 
+// Request-validation sentinels. normalize's errors cross the server
+// boundary as 400 bodies and batch per-item errors; package-level sentinels
+// (wrapped with %w where the message needs the offending numbers) keep them
+// matchable with errors.Is instead of minting a fresh anonymous error per
+// request.
+var (
+	errTupleForms     = errors.New(`set either "tuple" or "tuples", not both`)
+	errTupleRequired  = errors.New(`one of "tuple" or "tuples" is required`)
+	errTooManyTuples  = errors.New("too many query tuples per request")
+	errEmptyTuple     = errors.New("empty query tuple")
+	errTupleTooWide   = errors.New("too many entities per tuple")
+	errArityMismatch  = errors.New("query tuples must share one arity")
+	errEmptyEntity    = errors.New("empty entity name in query tuple")
+	errNegativeOption = errors.New("option values must be non-negative")
+)
+
 // normalize validates the request and returns the canonical tuple list and
 // options: single-tuple requests become one-element tuple lists and default
 // option values are made explicit, so equivalent requests share a cache key.
@@ -378,36 +394,36 @@ func (q *queryRequest) normalize() ([][]string, gqbe.Options, error) {
 	var tuples [][]string
 	switch {
 	case len(q.Tuple) > 0 && len(q.Tuples) > 0:
-		return nil, gqbe.Options{}, errors.New(`set either "tuple" or "tuples", not both`)
+		return nil, gqbe.Options{}, errTupleForms
 	case len(q.Tuple) > 0:
 		tuples = [][]string{q.Tuple}
 	case len(q.Tuples) > 0:
 		tuples = q.Tuples
 	default:
-		return nil, gqbe.Options{}, errors.New(`one of "tuple" or "tuples" is required`)
+		return nil, gqbe.Options{}, errTupleRequired
 	}
 	if len(tuples) > maxClientTuples {
-		return nil, gqbe.Options{}, fmt.Errorf("at most %d query tuples per request (got %d)", maxClientTuples, len(tuples))
+		return nil, gqbe.Options{}, fmt.Errorf("%w: at most %d (got %d)", errTooManyTuples, maxClientTuples, len(tuples))
 	}
 	arity := len(tuples[0])
 	for _, t := range tuples {
 		if len(t) == 0 {
-			return nil, gqbe.Options{}, errors.New("empty query tuple")
+			return nil, gqbe.Options{}, errEmptyTuple
 		}
 		if len(t) > maxClientArity {
-			return nil, gqbe.Options{}, fmt.Errorf("at most %d entities per tuple (got %d)", maxClientArity, len(t))
+			return nil, gqbe.Options{}, fmt.Errorf("%w: at most %d (got %d)", errTupleTooWide, maxClientArity, len(t))
 		}
 		if len(t) != arity {
-			return nil, gqbe.Options{}, fmt.Errorf("query tuples must share one arity (got %d and %d)", arity, len(t))
+			return nil, gqbe.Options{}, fmt.Errorf("%w (got %d and %d)", errArityMismatch, arity, len(t))
 		}
 		for _, e := range t {
 			if e == "" {
-				return nil, gqbe.Options{}, errors.New("empty entity name in query tuple")
+				return nil, gqbe.Options{}, errEmptyEntity
 			}
 		}
 	}
 	if q.K < 0 || q.KPrime < 0 || q.Depth < 0 || q.MQGSize < 0 || q.MaxRows < 0 || q.MaxEvaluations < 0 || q.TimeoutMillis < 0 {
-		return nil, gqbe.Options{}, errors.New("option values must be non-negative")
+		return nil, gqbe.Options{}, errNegativeOption
 	}
 	// Clamp client-tunable budgets to the server-side caps before
 	// normalization, so capped requests also share cache keys with their

@@ -72,6 +72,8 @@ func (t *Table) Len() int { return len(t.pairs) }
 func (t *Table) Pairs() []Pair { return t.pairs }
 
 // lowerBound returns the first index of keys not below k.
+//
+//gqbe:hotpath
 func lowerBound(keys []graph.NodeID, k graph.NodeID) int {
 	lo, hi := 0, len(keys)
 	for lo < hi {
@@ -87,6 +89,8 @@ func lowerBound(keys []graph.NodeID, k graph.NodeID) int {
 
 // postings returns the contiguous [lo, hi) run of node k in a column pair:
 // two array loads when off is dense, two bisections of keys otherwise.
+//
+//gqbe:hotpath
 func postings(off []int32, base graph.NodeID, keys []graph.NodeID, k graph.NodeID) (int, int) {
 	if off != nil {
 		i := int(k) - int(base)
@@ -101,6 +105,8 @@ func postings(off []int32, base graph.NodeID, keys []graph.NodeID, k graph.NodeI
 // Objects returns the objects o such that (s, label, o) is an edge, in
 // ascending order. The returned slice is a view into the table's object
 // column and is owned by the table.
+//
+//gqbe:hotpath
 func (t *Table) Objects(s graph.NodeID) []graph.NodeID {
 	lo, hi := postings(t.subjOff, t.subjBase, t.subjKeys, s)
 	return t.objCol[lo:hi]
@@ -108,18 +114,24 @@ func (t *Table) Objects(s graph.NodeID) []graph.NodeID {
 
 // Subjects returns the subjects s such that (s, label, o) is an edge, in
 // ascending order.
+//
+//gqbe:hotpath
 func (t *Table) Subjects(o graph.NodeID) []graph.NodeID {
 	lo, hi := postings(t.objOff, t.objBase, t.objKeys, o)
 	return t.subjCol[lo:hi]
 }
 
 // OutDegree returns the number of edges with this label leaving s.
+//
+//gqbe:hotpath
 func (t *Table) OutDegree(s graph.NodeID) int {
 	lo, hi := postings(t.subjOff, t.subjBase, t.subjKeys, s)
 	return hi - lo
 }
 
 // InDegree returns the number of edges with this label entering o.
+//
+//gqbe:hotpath
 func (t *Table) InDegree(o graph.NodeID) int {
 	lo, hi := postings(t.objOff, t.objBase, t.objKeys, o)
 	return hi - lo
@@ -132,6 +144,8 @@ const hasBinarySearchMin = 16
 
 // Has reports whether the row (s, o) exists. It probes the smaller of the
 // two candidate posting lists; both are sorted, so long lists are bisected.
+//
+//gqbe:hotpath
 func (t *Table) Has(s, o graph.NodeID) bool {
 	objs := t.Objects(s)
 	subs := t.Subjects(o)

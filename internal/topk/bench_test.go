@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -45,15 +46,15 @@ func kgFixture() {
 			if err != nil {
 				panic(err)
 			}
-			nres, err := neighborhood.Extract(ds.Graph, tuple, 2)
+			nres, err := neighborhood.ExtractCtx(context.Background(), ds.Graph, tuple, 2)
 			if err != nil {
 				panic(err)
 			}
-			m, err := mqg.Discover(est, nres.Reduced, tuple, 15)
+			m, err := mqg.DiscoverCtx(context.Background(), est, nres.Reduced, tuple, 15)
 			if err != nil {
 				panic(err)
 			}
-			lat, err := lattice.New(m)
+			lat, err := lattice.NewCtx(context.Background(), m)
 			if err != nil {
 				panic(err)
 			}
@@ -71,7 +72,7 @@ func benchSearch(b *testing.B, id string, opts Options) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Search(benchSt, lat, [][]graph.NodeID{tuple}, opts)
+		res, err := SearchCtx(context.Background(), benchSt, lat, [][]graph.NodeID{tuple}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkSearchTraced(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := Search(benchSt, lat, [][]graph.NodeID{tuple},
+				res, err := SearchCtx(context.Background(), benchSt, lat, [][]graph.NodeID{tuple},
 					Options{K: 25, Tracer: obs.New()})
 				if err != nil {
 					b.Fatal(err)

@@ -70,11 +70,13 @@ func (s *searcher) runParallel(workers int) (*Result, error) {
 			for q := range jobs {
 				var start time.Time
 				if traced {
+					//gqbelint:ignore determinism trace-only timing: workers measure, the coordinator records in pop order
 					start = time.Now()
 				}
 				rows, err := wev.Evaluate(q)
 				var dur time.Duration
 				if traced {
+					//gqbelint:ignore determinism trace-only timing: workers measure, the coordinator records in pop order
 					dur = time.Since(start)
 				}
 				results <- evalResult{q: q, rows: rows, dur: dur, err: err}

@@ -25,13 +25,13 @@ var searchWorkerSweep = []int{2, 8}
 func checkParallelOracle(t *testing.T, name string, store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) {
 	t.Helper()
 	opts.Parallelism = 1
-	want, err := Search(store, lat, exclude, opts)
+	want, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 	if err != nil {
 		t.Fatalf("%s: sequential search: %v", name, err)
 	}
 	for _, w := range searchWorkerSweep {
 		opts.Parallelism = w
-		got, err := Search(store, lat, exclude, opts)
+		got, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 		if err != nil {
 			t.Fatalf("%s: W=%d search: %v", name, w, err)
 		}
@@ -86,7 +86,7 @@ func TestParallelSearchOracleKGSynth(t *testing.T) {
 func TestParallelSearchRowBudgetSkips(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
 	opts := Options{K: 1000, KPrime: 1000, MaxRows: 6, Parallelism: 1}
-	want, err := Search(store, lat, exclude, opts)
+	want, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestParallelSearchRowBudgetSkips(t *testing.T) {
 	}
 	for _, w := range searchWorkerSweep {
 		opts.Parallelism = w
-		got, err := Search(store, lat, exclude, opts)
+		got, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 		if err != nil {
 			t.Fatalf("W=%d: %v", w, err)
 		}

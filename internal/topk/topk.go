@@ -167,21 +167,16 @@ type candidate struct {
 	bestGraph lattice.EdgeSet
 }
 
-// Search runs Alg. 2 over the lattice lat against store, excluding the query
-// tuples themselves from the answers (a query tuple trivially matches
+// SearchCtx runs Alg. 2 over the lattice lat against store, excluding the
+// query tuples themselves from the answers (a query tuple trivially matches
 // itself, §II). For merged multi-tuple MQGs pass every input tuple in
-// exclude.
-func Search(store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
-	return SearchCtx(context.Background(), store, lat, exclude, opts)
-}
-
-// SearchCtx is Search under a cancellation context: the search checks ctx at
-// every node-evaluation boundary (and the joins check it at batch
-// granularity, see exec.WithContext), returning the context's error as soon
-// as it is done. A search canceled mid-loop returns BOTH a non-nil partial
-// Result — the answers and counters at the moment of interruption, with
-// Stopped set to StopDeadline or StopCanceled — and the wrapped context
-// error, so callers can surface anytime answers alongside the disposition.
+// exclude. The search checks ctx at every node-evaluation boundary (and the
+// joins check it at batch granularity, see exec.WithContext), returning the
+// context's error as soon as it is done. A search canceled mid-loop returns
+// BOTH a non-nil partial Result — the answers and counters at the moment of
+// interruption, with Stopped set to StopDeadline or StopCanceled — and the
+// wrapped context error, so callers can surface anytime answers alongside
+// the disposition.
 func SearchCtx(ctx context.Context, store *storage.Store, lat *lattice.Lattice, exclude [][]graph.NodeID, opts Options) (*Result, error) {
 	opts.Fill()
 	ev := exec.New(store, lat, exec.WithMaxRows(opts.MaxRows), exec.WithContext(ctx))
@@ -228,8 +223,10 @@ func (s *searcher) evaluateSequential(q lattice.EdgeSet) (*exec.Rows, time.Durat
 		rows, err := s.ev.Evaluate(q)
 		return rows, 0, err
 	}
+	//gqbelint:ignore determinism trace-only timing: durations feed span records, never answers or tie-breaks
 	start := time.Now()
 	rows, err := s.ev.Evaluate(q)
+	//gqbelint:ignore determinism trace-only timing: durations feed span records, never answers or tie-breaks
 	return rows, time.Since(start), err
 }
 
@@ -536,6 +533,8 @@ func (s *searcher) recordEval(q lattice.EdgeSet, ub float64, rows int, null, ski
 
 // onlyExcluded reports whether every row projects to an excluded (query)
 // tuple, checking ctx at batch granularity (rows can number in the millions).
+//
+//gqbe:hotpath
 func (s *searcher) onlyExcluded(rows *exec.Rows) (bool, error) {
 	for n := 0; n < rows.Len(); n++ {
 		if n%cancelCheckInterval == 0 {
@@ -555,6 +554,8 @@ func (s *searcher) onlyExcluded(rows *exec.Rows) (bool, error) {
 // Under the simplified stage-1 scoring every row of q scores s_score(q);
 // the full score (with content credit) is tracked alongside for stage 2.
 // Like the joins, it checks ctx at batch granularity.
+//
+//gqbe:hotpath
 func (s *searcher) absorb(q lattice.EdgeSet, rows *exec.Rows) error {
 	sScore := s.lat.SScore(q)
 	for n := 0; n < rows.Len(); n++ {
@@ -571,6 +572,7 @@ func (s *searcher) absorb(q lattice.EdgeSet, rows *exec.Rows) error {
 		full := sScore + s.sc.CScore(q, row)
 		c := s.tuples.lookup(s.tupleBuf)
 		if c == nil {
+			//gqbelint:ignore hotalloc one candidate per distinct answer tuple (bounded by TuplesSeen), not per row
 			c = &candidate{tuple: append([]graph.NodeID(nil), s.tupleBuf...)}
 			s.tuples.insert(c)
 		}

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -23,15 +24,15 @@ func pipeline(t *testing.T, names ...string) (*graph.Graph, *storage.Store, *lat
 	store := storage.Build(g)
 	st := stats.New(store)
 	tuple := testkg.Tuple(g, names...)
-	nres, err := neighborhood.Extract(g, tuple, 2)
+	nres, err := neighborhood.ExtractCtx(context.Background(), g, tuple, 2)
 	if err != nil {
 		t.Fatalf("Extract: %v", err)
 	}
-	m, err := mqg.Discover(st, nres.Reduced, tuple, 10)
+	m, err := mqg.DiscoverCtx(context.Background(), st, nres.Reduced, tuple, 10)
 	if err != nil {
 		t.Fatalf("Discover: %v", err)
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatalf("lattice.New: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestSearchJerryYangYahoo(t *testing.T) {
 	g, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
 	// K=10 comfortably covers all founder/company pairs; Gates/Microsoft
 	// ranks below the California companies on content score.
-	res, err := Search(store, lat, exclude, Options{K: 10})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 10})
 	if err != nil {
 		t.Fatalf("Search: %v", err)
 	}
@@ -77,7 +78,7 @@ func TestSearchJerryYangYahoo(t *testing.T) {
 
 func TestSearchScoresDescending(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	res, err := Search(store, lat, exclude, Options{K: 10})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestSearchContentScoreRanksWozniakOverGates(t *testing.T) {
 	// (San Jose, California) than Gates/Microsoft (Redmond/Washington), so
 	// with equal structure the content score must rank Wozniak higher.
 	g, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	res, err := Search(store, lat, exclude, Options{K: 10})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSearchContentScoreRanksWozniakOverGates(t *testing.T) {
 
 func TestSearchSingleEntity(t *testing.T) {
 	g, store, lat, exclude := pipeline(t, "Stanford")
-	res, err := Search(store, lat, exclude, Options{K: 5})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestSearchMatchesExhaustiveOracle(t *testing.T) {
 	excl := map[string]bool{tupleKey(exclude[0]): true}
 	want := oracle(t, store, lat, excl)
 
-	res, err := Search(store, lat, exclude, Options{K: 1000, KPrime: 1000})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 1000, KPrime: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestSearchMatchesExhaustiveOracle(t *testing.T) {
 func TestSearchTerminatesEarlyWithSmallK(t *testing.T) {
 	// With k′=1 the search should stop long before exhausting the lattice.
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	resSmall, err := Search(store, lat, exclude, Options{K: 1, KPrime: 1})
+	resSmall, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 1, KPrime: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resBig, err := Search(store, lat, exclude, Options{K: 1000, KPrime: 1000})
+	resBig, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 1000, KPrime: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func TestTheorem4TopAnswerAgreesAcrossK(t *testing.T) {
 	// The top answer under early termination must match the exhaustive run
 	// on the stage-1 (structure) ranking.
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	small, err := Search(store, lat, exclude, Options{K: 3, KPrime: 3})
+	small, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 3, KPrime: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Search(store, lat, exclude, Options{K: 1000, KPrime: 1000})
+	big, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 1000, KPrime: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,12 +250,12 @@ func TestNullNodePruning(t *testing.T) {
 		Depths:  []int{1, 1},
 		Tuple:   []graph.NodeID{g.MustNode("q1"), g.MustNode("q2")},
 	}
-	lat, err := lattice.New(m)
+	lat, err := lattice.NewCtx(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tuple := []graph.NodeID{g.MustNode("q1"), g.MustNode("q2")}
-	res, err := Search(store, lat, [][]graph.NodeID{tuple}, Options{K: 5})
+	res, err := SearchCtx(context.Background(), store, lat, [][]graph.NodeID{tuple}, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestNullNodePruning(t *testing.T) {
 
 func TestMaxEvaluationsCap(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	res, err := Search(store, lat, exclude, Options{K: 1000, KPrime: 1000, MaxEvaluations: 2})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 1000, KPrime: 1000, MaxEvaluations: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestStage2UsesFullScore(t *testing.T) {
 	// Verify the reported Score equals bestS + best content credit by
 	// recomputing for the top answer.
 	g, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	res, err := Search(store, lat, exclude, Options{K: 3})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

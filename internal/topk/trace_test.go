@@ -17,7 +17,7 @@ import (
 func TestSearchTracedDeterministic(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
 	opts := Options{K: 10, Parallelism: 1}
-	want, err := Search(store, lat, exclude, opts)
+	want, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestSearchTracedDeterministic(t *testing.T) {
 		tr := obs.New()
 		opts.Parallelism = w
 		opts.Tracer = tr
-		got, err := Search(store, lat, exclude, opts)
+		got, err := SearchCtx(context.Background(), store, lat, exclude, opts)
 		if err != nil {
 			t.Fatalf("W=%d traced search: %v", w, err)
 		}
@@ -72,7 +72,7 @@ func TestSearchTracedDeterministic(t *testing.T) {
 func TestSearchTracedExecAttrs(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
 	tr := obs.New()
-	res, err := Search(store, lat, exclude, Options{K: 10, Tracer: tr})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 10, Tracer: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSearchDeadlinePartial(t *testing.T) {
 // real search (their cross-W determinism is the oracle tests' job).
 func TestSearchCountersPopulated(t *testing.T) {
 	_, store, lat, exclude := pipeline(t, "Jerry Yang", "Yahoo!")
-	res, err := Search(store, lat, exclude, Options{K: 10})
+	res, err := SearchCtx(context.Background(), store, lat, exclude, Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

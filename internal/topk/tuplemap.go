@@ -14,6 +14,8 @@ import (
 // element-wise compare — collision-safe without ever materializing a key.
 
 // tupleHash folds a tuple's raw node IDs FNV-1a style into a 64-bit hash.
+//
+//gqbe:hotpath
 func tupleHash(t []graph.NodeID) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range t {
@@ -26,10 +28,14 @@ func tupleHash(t []graph.NodeID) uint64 {
 // tupleEq reports element-wise tuple equality.
 func tupleEq(a, b []graph.NodeID) bool { return slices.Equal(a, b) }
 
-// tupleMap indexes candidates by answer tuple.
+// tupleMap indexes candidates by answer tuple. Alongside the hash buckets
+// it keeps the candidates in insertion order: absorption order is the
+// deterministic pop-then-row order of the search, so iterating the slice
+// (rather than the buckets map, whose order varies run to run) keeps every
+// consumer of each() bit-identical across runs and worker counts.
 type tupleMap struct {
 	buckets map[uint64][]*candidate
-	n       int
+	all     []*candidate // insertion order
 }
 
 func newTupleMap() *tupleMap {
@@ -38,6 +44,8 @@ func newTupleMap() *tupleMap {
 
 // lookup returns the candidate for t, or nil. t may be a transient scratch
 // buffer; lookup never retains it.
+//
+//gqbe:hotpath
 func (m *tupleMap) lookup(t []graph.NodeID) *candidate {
 	for _, c := range m.buckets[tupleHash(t)] {
 		if tupleEq(c.tuple, t) {
@@ -49,21 +57,21 @@ func (m *tupleMap) lookup(t []graph.NodeID) *candidate {
 
 // insert adds c under its tuple; the caller guarantees the tuple is absent
 // (and that c.tuple is an owned copy, not a scratch buffer).
+//
+//gqbe:hotpath
 func (m *tupleMap) insert(c *candidate) {
 	h := tupleHash(c.tuple)
 	m.buckets[h] = append(m.buckets[h], c)
-	m.n++
+	m.all = append(m.all, c)
 }
 
 // len returns the number of distinct tuples.
-func (m *tupleMap) len() int { return m.n }
+func (m *tupleMap) len() int { return len(m.all) }
 
-// each calls fn for every candidate, in unspecified order.
+// each calls fn for every candidate, in insertion (absorption) order.
 func (m *tupleMap) each(fn func(*candidate)) {
-	for _, bucket := range m.buckets {
-		for _, c := range bucket {
-			fn(c)
-		}
+	for _, c := range m.all {
+		fn(c)
 	}
 }
 
@@ -86,6 +94,8 @@ func newTupleSet(tuples [][]graph.NodeID) *tupleSet {
 }
 
 // has reports membership; t may be a transient scratch buffer.
+//
+//gqbe:hotpath
 func (s *tupleSet) has(t []graph.NodeID) bool {
 	for _, x := range s.buckets[tupleHash(t)] {
 		if tupleEq(x, t) {

@@ -1,0 +1,46 @@
+package topk
+
+import (
+	"testing"
+
+	"gqbe/internal/graph"
+)
+
+// TestTupleMapEachInsertionOrder is the regression test for the determinism
+// fix that replaced each()'s map-bucket iteration with the insertion-order
+// slice: consumers (rank's candidate collection, the k'th-best probe) must
+// see candidates in exactly absorption order on every run.
+func TestTupleMapEachInsertionOrder(t *testing.T) {
+	m := newTupleMap()
+	// Tuples engineered across distinct hash buckets plus one colliding
+	// bucket (same leading element keeps them distinct but adjacent).
+	tuples := [][]graph.NodeID{
+		{7, 1}, {3, 9}, {7, 2}, {1, 1}, {42, 0}, {3, 10},
+	}
+	for _, tu := range tuples {
+		if m.lookup(tu) != nil {
+			t.Fatalf("tuple %v unexpectedly present", tu)
+		}
+		m.insert(&candidate{tuple: tu})
+	}
+	if m.len() != len(tuples) {
+		t.Fatalf("len = %d, want %d", m.len(), len(tuples))
+	}
+	var got [][]graph.NodeID
+	m.each(func(c *candidate) { got = append(got, c.tuple) })
+	if len(got) != len(tuples) {
+		t.Fatalf("each visited %d candidates, want %d", len(got), len(tuples))
+	}
+	for i := range tuples {
+		if !tupleEq(got[i], tuples[i]) {
+			t.Errorf("each order[%d] = %v, want %v (insertion order)", i, got[i], tuples[i])
+		}
+	}
+	// lookup still resolves every tuple through the hash buckets.
+	for _, tu := range tuples {
+		c := m.lookup(tu)
+		if c == nil || !tupleEq(c.tuple, tu) {
+			t.Errorf("lookup(%v) = %v after inserts", tu, c)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package triples
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTriples throws arbitrary text at the triple parser. It must never
+// panic; every failure must be a *ParseError (with a positive line number and
+// a non-nil cause) or a scanner error wrapping bufio.ErrTooLong; and every
+// triple it does accept must have three non-empty, whitespace-trimmed fields.
+func FuzzParseTriples(f *testing.F) {
+	f.Add("a\tknows\tb\n")
+	f.Add("a\tknows\tb\nb\tworksFor\tc\n")
+	f.Add("# comment\n\n  \na\tknows\tb\n")
+	f.Add("only two\tfields\n")
+	f.Add("a\t\tb\n")
+	f.Add("a\tknows\tb\textra\n")
+	f.Add("no tabs at all")
+	f.Add("a\tknows\tb") // no trailing newline
+	f.Add(strings.Repeat("x", 4096) + "\ty\tz\n")
+	f.Add("\x00\t\xff\t\xfe\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		ts, err := ReadAll(strings.NewReader(data))
+		if err != nil {
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				if pe.Line <= 0 {
+					t.Fatalf("ParseError with non-positive line %d", pe.Line)
+				}
+				if pe.Unwrap() == nil {
+					t.Fatal("ParseError with nil cause")
+				}
+				return
+			}
+			if errors.Is(err, bufio.ErrTooLong) {
+				return
+			}
+			t.Fatalf("error %v (%T) is neither *ParseError nor bufio.ErrTooLong", err, err)
+		}
+		for i, tr := range ts {
+			for _, field := range []string{tr.Subject, tr.Predicate, tr.Object} {
+				if field == "" {
+					t.Fatalf("triple %d has an empty field: %+v", i, tr)
+				}
+				if field != strings.TrimSpace(field) {
+					t.Fatalf("triple %d field %q not trimmed", i, field)
+				}
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ package triples
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -44,8 +45,8 @@ func (e *ParseError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *ParseError) Unwrap() error { return e.Err }
 
-var errFieldCount = fmt.Errorf("expected 3 tab-separated fields")
-var errEmptyField = fmt.Errorf("empty field")
+var errFieldCount = errors.New("expected 3 tab-separated fields")
+var errEmptyField = errors.New("empty field")
 
 // Read parses all triples from r, calling fn for each. It stops at the first
 // malformed line and returns a *ParseError describing it.
