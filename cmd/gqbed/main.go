@@ -25,9 +25,12 @@
 //	POST /v1/query:explain  one query's full breakdown: span tree, MQG,
 //	                        lattice summary, per-node evaluation table
 //	GET  /v1/entity/{name}  entity existence check
-//	GET  /healthz           liveness + graph shape
+//	GET  /healthz           liveness + graph shape + engine generation
 //	GET  /statz             serving metrics (QPS, latency percentiles, cache)
 //	GET  /metrics           Prometheus text exposition (counters + histograms)
+//	POST /admin/reload      hot-swap the engine from -snapshot/-graph (SIGHUP
+//	                        does the same); a corrupt candidate is rejected
+//	                        and the serving engine retained
 //
 // The daemon sheds load with 429 once all workers are busy, answers repeated
 // queries from an LRU result cache, coalesces concurrent identical queries
@@ -58,6 +61,7 @@ import (
 	"time"
 
 	"gqbe"
+	"gqbe/internal/fault"
 	"gqbe/internal/server"
 )
 
@@ -83,8 +87,25 @@ func main() {
 		buildShards   = flag.Int("build-shards", 0, "concurrent workers for the offline store build (0 = GOMAXPROCS, 1 = sequential)")
 		snapshotPath  = flag.String("snapshot", "", "binary engine snapshot path: loaded instead of -graph when it exists")
 		snapshotWrite = flag.Bool("snapshot-write", false, "after building from -graph, write the engine snapshot to -snapshot")
+
+		faultSpec    = flag.String("fault", "", "fault-injection spec, e.g. 'exec.eval.panic:p=0.01,seed=7;snapio.read.flip:every=100' (testing/chaos only; empty disables)")
+		staleServe   = flag.Bool("stale-serve", false, "serve retained cache entries (labeled stale, with an Age header) when live computation fails with a server-side error")
+		staleTTL     = flag.Duration("stale-ttl", 0, "result-cache freshness horizon: older entries recompute but stay eligible for stale serving (0 = 1m default, negative = never stale)")
+		brownoutQ    = flag.Int("brownout-queue", 0, "admission queue depth that engages brownout (clamped searches labeled browned_out); 0 disables")
+		brownoutKP   = flag.Int("brownout-kprime", 0, "candidate-list clamp under brownout (0 = default 32)")
+		brownoutEval = flag.Int("brownout-max-evaluations", 0, "lattice-evaluation cap under brownout (0 = default 512)")
 	)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		cfg, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gqbed: -fault: %v\n", err)
+			os.Exit(2)
+		}
+		fault.Enable(cfg)
+		log.Printf("gqbed: FAULT INJECTION ARMED: %s", *faultSpec)
+	}
 
 	if *graphPath == "" && *snapshotPath == "" {
 		fmt.Fprintln(os.Stderr, "gqbed: -graph (or -snapshot) is required")
@@ -131,6 +152,19 @@ func main() {
 		Trace:               *trace,
 		SlowQuery:           time.Duration(*slowQueryMS) * time.Millisecond,
 		Logger:              logger,
+		// Hot reload rebuilds from the same sources the boot load used
+		// (snapshot preferred, graph fallback), so SIGHUP / POST
+		// /admin/reload picks up a newly written snapshot or graph file
+		// without a restart. A corrupt candidate is rejected by the loader
+		// and the serving engine stays untouched.
+		Reload: func() (*gqbe.Engine, error) {
+			return loadEngine(*graphPath, *snapshotPath, *buildShards, false)
+		},
+		StaleServe:             *staleServe,
+		StaleTTL:               *staleTTL,
+		BrownoutQueue:          *brownoutQ,
+		BrownoutKPrime:         *brownoutKP,
+		BrownoutMaxEvaluations: *brownoutEval,
 	}.WithDefaults()
 	srv := server.New(eng, cfg)
 	httpSrv := &http.Server{
@@ -169,6 +203,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP triggers a hot reload (same effect as POST /admin/reload):
+	// operators can swap in a freshly written snapshot without dropping a
+	// single in-flight request. A failed reload only logs — the daemon keeps
+	// serving the engine it has.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Printf("gqbed: SIGHUP: hot reload requested")
+			if gen, err := srv.Reload(); err != nil {
+				log.Printf("gqbed: hot reload failed: %v", err)
+			} else {
+				log.Printf("gqbed: hot reload done, generation %d", gen)
+			}
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() {

@@ -7,12 +7,18 @@
 //     belongs to a family declared with # TYPE (of a known type), and every
 //     histogram keeps its invariants — strictly increasing bucket bounds,
 //     monotone cumulative counts, a final le="+Inf" bucket, and _count/_sum
-//     series with _count equal to the +Inf bucket exactly;
+//     series with _count equal to the +Inf bucket exactly. The degraded-
+//     service families the server promises (gqbe_faults_injected_total,
+//     gqbe_recovered_panics_total, gqbe_stale_served_total,
+//     gqbe_reloads_total, gqbe_brownouts_total, gqbe_engine_generation)
+//     must be present — a refactor that drops one would otherwise blind the
+//     failure-mode dashboards silently;
 //   - -explain FILE: the body of POST /v1/query:explain must carry the
 //     documented schema — request_id, answers, stats, lattice, node_evals,
 //     trace, serving — with the cross-field invariants the server promises:
-//     len(node_evals) == stats.nodes_evaluated == lattice.evaluated, and a
-//     trace rooted at the "query" span.
+//     lattice.evaluated == stats.nodes_evaluated, len(node_evals) equal to
+//     it (or below it when "truncated": true marks a capped response), and
+//     a trace rooted at the "query" span.
 //
 // Usage:
 //
@@ -49,7 +55,7 @@ func main() {
 		if err != nil {
 			fatalf("metricslint: %v", err)
 		}
-		findings = append(findings, lintMetrics(f)...)
+		findings = append(findings, lintMetrics(f, gqbeRequiredFamilies)...)
 		f.Close()
 	}
 	if *explainPath != "" {
@@ -78,6 +84,17 @@ var knownTypes = map[string]bool{
 	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
 }
 
+// gqbeRequiredFamilies are the degraded-service metric families gqbed's
+// /metrics contractually exposes; the CI gate fails if any disappears.
+var gqbeRequiredFamilies = []string{
+	"gqbe_faults_injected_total",
+	"gqbe_recovered_panics_total",
+	"gqbe_stale_served_total",
+	"gqbe_reloads_total",
+	"gqbe_brownouts_total",
+	"gqbe_engine_generation",
+}
+
 // sample is one parsed exposition sample.
 type sample struct {
 	labels string
@@ -85,8 +102,9 @@ type sample struct {
 }
 
 // lintMetrics validates a Prometheus text exposition read from r and
-// returns one finding per violation.
-func lintMetrics(r io.Reader) []string {
+// returns one finding per violation. Each family in required must be both
+// declared and sampled; pass nil to lint format only.
+func lintMetrics(r io.Reader, required []string) []string {
 	var findings []string
 	types := make(map[string]string)
 	samples := make(map[string][]sample)
@@ -140,6 +158,22 @@ func lintMetrics(r io.Reader) []string {
 	for _, name := range names {
 		if _, ok := types[familyOf(name, types)]; !ok {
 			findings = append(findings, fmt.Sprintf("sample %s has no # TYPE declaration", name))
+		}
+	}
+
+	// Contractual families: declared with a TYPE and carrying at least one
+	// sample (labeled variants like gqbe_reloads_total{outcome="ok"} count).
+	for _, fam := range required {
+		if _, ok := types[fam]; !ok {
+			findings = append(findings, fmt.Sprintf("required family %s has no # TYPE declaration", fam))
+			continue
+		}
+		n := len(samples[fam])
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			n += len(samples[fam+suf])
+		}
+		if n == 0 {
+			findings = append(findings, fmt.Sprintf("required family %s has no samples", fam))
 		}
 	}
 
@@ -261,6 +295,9 @@ type explainDoc struct {
 	Serving *struct {
 		Workers *int `json:"workers"`
 	} `json:"serving"`
+	// Truncated marks a response whose node_evals/trace were cut at the
+	// server's size caps; absent means false.
+	Truncated bool `json:"truncated"`
 }
 
 // lintExplain validates one explain response body.
@@ -301,7 +338,12 @@ func lintExplain(data []byte) []string {
 	if *doc.Trace.Name != "query" {
 		findings = append(findings, fmt.Sprintf("explain: trace root is %q, want \"query\"", *doc.Trace.Name))
 	}
-	if got, want := len(*doc.NodeEvals), *doc.Stats.NodesEvaluated; got != want {
+	// A truncated response keeps a prefix of node_evals while the stats
+	// still describe the full search; untruncated responses replay it all.
+	switch got, want := len(*doc.NodeEvals), *doc.Stats.NodesEvaluated; {
+	case doc.Truncated && got > want:
+		findings = append(findings, fmt.Sprintf("explain: truncated response has %d node_evals, beyond stats.nodes_evaluated %d", got, want))
+	case !doc.Truncated && got != want:
 		findings = append(findings, fmt.Sprintf("explain: %d node_evals, stats.nodes_evaluated says %d", got, want))
 	}
 	if got, want := *doc.Lattice.Evaluated, *doc.Stats.NodesEvaluated; got != want {

@@ -22,7 +22,7 @@ gqbe_search_latency_seconds_count 2
 `
 
 func TestLintMetricsClean(t *testing.T) {
-	if fs := lintMetrics(strings.NewReader(goodExposition)); len(fs) != 0 {
+	if fs := lintMetrics(strings.NewReader(goodExposition), nil); len(fs) != 0 {
 		t.Fatalf("findings on a clean exposition: %v", fs)
 	}
 }
@@ -76,7 +76,7 @@ func TestLintMetricsViolations(t *testing.T) {
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
-			fs := lintMetrics(strings.NewReader(tc.body))
+			fs := lintMetrics(strings.NewReader(tc.body), nil)
 			found := false
 			for _, f := range fs {
 				if strings.Contains(f, tc.want) {
@@ -101,6 +101,39 @@ const goodExplain = `{
   "trace": {"name": "query", "duration_us": 1200, "children": []},
   "serving": {"queue_wait_ms": 0.01, "workers": 1, "timeout_ms": 10000}
 }`
+
+const faultExposition = `# TYPE gqbe_faults_injected_total counter
+gqbe_faults_injected_total 7
+# TYPE gqbe_recovered_panics_total counter
+gqbe_recovered_panics_total 2
+# TYPE gqbe_stale_served_total counter
+gqbe_stale_served_total 1
+# TYPE gqbe_reloads_total counter
+gqbe_reloads_total{outcome="ok"} 3
+gqbe_reloads_total{outcome="rejected"} 1
+# TYPE gqbe_brownouts_total counter
+gqbe_brownouts_total 4
+# TYPE gqbe_engine_generation gauge
+gqbe_engine_generation 4
+`
+
+func TestLintMetricsRequiredFamilies(t *testing.T) {
+	if fs := lintMetrics(strings.NewReader(faultExposition), gqbeRequiredFamilies); len(fs) != 0 {
+		t.Fatalf("findings on an exposition carrying every required family: %v", fs)
+	}
+	// Dropping one family must produce both targeted findings paths: no
+	// TYPE declaration at all, and declared-but-unsampled.
+	dropped := strings.ReplaceAll(faultExposition, "# TYPE gqbe_brownouts_total counter\ngqbe_brownouts_total 4\n", "")
+	fs := lintMetrics(strings.NewReader(dropped), gqbeRequiredFamilies)
+	if len(fs) != 1 || !strings.Contains(fs[0], "required family gqbe_brownouts_total") {
+		t.Errorf("dropped family findings = %v, want one mentioning gqbe_brownouts_total", fs)
+	}
+	unsampled := strings.ReplaceAll(faultExposition, "gqbe_stale_served_total 1\n", "")
+	fs = lintMetrics(strings.NewReader(unsampled), gqbeRequiredFamilies)
+	if len(fs) != 1 || !strings.Contains(fs[0], "gqbe_stale_served_total has no samples") {
+		t.Errorf("unsampled family findings = %v, want one mentioning gqbe_stale_served_total", fs)
+	}
+}
 
 func TestLintExplainClean(t *testing.T) {
 	if fs := lintExplain([]byte(goodExplain)); len(fs) != 0 {
@@ -147,5 +180,39 @@ func TestLintExplainViolations(t *testing.T) {
 				t.Errorf("findings %v do not mention %q", fs, tc.want)
 			}
 		})
+	}
+}
+
+// TestLintExplainTruncated: a capped explain response replays only a prefix
+// of node_evals — legal exactly when it says "truncated": true, and never
+// beyond what the stats claim was evaluated.
+func TestLintExplainTruncated(t *testing.T) {
+	truncate := func(s string) string {
+		s = strings.Replace(s, `"request_id"`, `"truncated": true, "request_id"`, 1)
+		return strings.Replace(s,
+			`"node_evals": [{"edges": [0, 1], "rows": 3, "eval_us": 10},
+                 {"edges": [0], "rows": 1, "eval_us": 4}]`,
+			`"node_evals": [{"edges": [0, 1], "rows": 3, "eval_us": 10}]`, 1)
+	}
+	if fs := lintExplain([]byte(truncate(goodExplain))); len(fs) != 0 {
+		t.Errorf("findings on a truncated explain with a legal prefix: %v", fs)
+	}
+	// The same prefix without the truncated marker is a mismatch.
+	untagged := strings.Replace(truncate(goodExplain), `"truncated": true, `, "", 1)
+	if fs := lintExplain([]byte(untagged)); len(fs) == 0 {
+		t.Error("short node_evals without truncated marker produced no findings")
+	}
+	// Truncated or not, node_evals must never exceed stats.nodes_evaluated.
+	over := strings.Replace(truncate(goodExplain), `"nodes_evaluated": 2`, `"nodes_evaluated": 0`, 1)
+	over = strings.Replace(over, `"evaluated": 2`, `"evaluated": 0`, 1)
+	fs := lintExplain([]byte(over))
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f, "beyond stats.nodes_evaluated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("findings %v do not flag node_evals beyond stats", fs)
 	}
 }

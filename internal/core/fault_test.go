@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"gqbe/internal/fault"
+	"gqbe/internal/graph"
+	"gqbe/internal/kgsynth"
+	"gqbe/internal/snapio"
+	"gqbe/internal/topk"
+)
+
+// armFault enables cfg for the duration of the test. Fault state is global
+// to the process, so these tests must not run in parallel with each other —
+// none of them call t.Parallel.
+func armFault(t *testing.T, cfg fault.Config) {
+	t.Helper()
+	t.Cleanup(fault.Disable)
+	fault.Enable(cfg)
+}
+
+// TestFaultSnapshotReadErr: an injected I/O error surfaces as a wrapped
+// ErrInjected from ReadSnapshot — never a panic, never a silent success.
+func TestFaultSnapshotReadErr(t *testing.T) {
+	_, snap := snapshotEngine(t)
+	// After=3 lets the magic and version framing parse first, proving the
+	// error path also works mid-file, not just at byte zero.
+	armFault(t, fault.Config{fault.SnapioReadErr: {Every: 1, After: 3}})
+	eng, err := ReadSnapshot(bytes.NewReader(snap))
+	if eng != nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("ReadSnapshot = (%v, %v), want (nil, ErrInjected)", eng, err)
+	}
+}
+
+// TestFaultSnapshotReadTruncate: an injected short read surfaces as the
+// typed ErrTruncated sentinel.
+func TestFaultSnapshotReadTruncate(t *testing.T) {
+	_, snap := snapshotEngine(t)
+	armFault(t, fault.Config{fault.SnapioReadTruncate: {Every: 1, After: 5}})
+	eng, err := ReadSnapshot(bytes.NewReader(snap))
+	if eng != nil || !errors.Is(err, snapio.ErrTruncated) {
+		t.Fatalf("ReadSnapshot = (%v, %v), want (nil, ErrTruncated)", eng, err)
+	}
+}
+
+// TestFaultSnapshotReadFlipSweep: a single bit flipped in any read chunk is
+// always caught by a typed sentinel (checksum, structural corruption, or the
+// framing checks when the flip lands in magic/version) — never a panic and
+// never a quietly wrong engine. The sweep moves the flip across the first
+// reads of the file to cover framing, headers, and column data.
+func TestFaultSnapshotReadFlipSweep(t *testing.T) {
+	_, snap := snapshotEngine(t)
+	for after := uint64(0); after < 24; after++ {
+		fault.Enable(fault.Config{fault.SnapioReadFlip: {Every: 1, After: after, Limit: 1}})
+		eng, err := ReadSnapshot(bytes.NewReader(snap))
+		fired := uint64(0)
+		for _, st := range fault.Stats() {
+			fired += st.Fired
+		}
+		fault.Disable()
+		if fired == 0 {
+			// The file had fewer reads than the offset; nothing was damaged,
+			// so the load must have succeeded.
+			if err != nil {
+				t.Fatalf("after=%d: no flip fired but load failed: %v", after, err)
+			}
+			continue
+		}
+		if eng != nil || err == nil {
+			t.Fatalf("after=%d: flipped snapshot loaded successfully", after)
+		}
+		if !errors.Is(err, snapio.ErrChecksum) && !errors.Is(err, snapio.ErrCorrupt) &&
+			!errors.Is(err, snapio.ErrBadMagic) && !errors.Is(err, snapio.ErrVersion) &&
+			!errors.Is(err, snapio.ErrTruncated) {
+			t.Fatalf("after=%d: flip produced untyped error: %v", after, err)
+		}
+	}
+}
+
+// TestFaultSnapshotWriteErr: an injected write error fails WriteSnapshot
+// with the wrapped sentinel.
+func TestFaultSnapshotWriteErr(t *testing.T) {
+	ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
+	eng := NewEngine(ds.Graph)
+	armFault(t, fault.Config{fault.SnapioWriteErr: {Every: 1, After: 2}})
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("WriteSnapshot = %v, want ErrInjected", err)
+	}
+}
+
+// faultQueryFixture builds an engine and an F1 query tuple for the
+// evaluation-layer fault tests.
+func faultQueryFixture(t *testing.T) (*Engine, [][]graph.NodeID) {
+	t.Helper()
+	ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
+	eng := NewEngine(ds.Graph)
+	q := ds.MustQuery("F1")
+	tuple, err := ds.Tuple(q.QueryTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, [][]graph.NodeID{tuple}
+}
+
+// discoveryProbes returns an After offset for fault.StorageTablePanic that
+// skips the query's discovery-phase storage probes, so the fire lands in the
+// evaluation phase (where probes run on parallel search workers). It arms the
+// point with a never-firing rule (After beyond any real hit count), replays
+// just the discovery stage of the identical query, and reads the probe count
+// from the hit counter. The caller tolerates (skips on) the fire still
+// landing on the caller goroutine — e.g. in join-plan construction.
+func discoveryProbes(t *testing.T, eng *Engine, tuples [][]graph.NodeID) uint64 {
+	t.Helper()
+	fault.Enable(fault.Config{fault.StorageTablePanic: {Every: 1, After: 1 << 60}})
+	opts := Options{K: 5, Parallelism: 4}
+	opts.fill()
+	if _, err := eng.DiscoverMQGCtx(context.Background(), tuples[0], opts); err != nil {
+		fault.Disable()
+		t.Fatalf("counting discovery run failed: %v", err)
+	}
+	var hits uint64
+	for _, st := range fault.Stats() {
+		if st.Name == fault.StorageTablePanic.Name() {
+			hits = st.Hits
+		}
+	}
+	fault.Disable()
+	if hits == 0 {
+		t.Fatal("counting run recorded no storage probes during discovery")
+	}
+	return hits
+}
+
+// TestFaultExecEvalErr: an injected evaluation error aborts the query with a
+// wrapped ErrInjected — an engine error, not a panic, not a partial answer
+// passed off as complete.
+func TestFaultExecEvalErr(t *testing.T) {
+	eng, tuples := faultQueryFixture(t)
+	armFault(t, fault.Config{fault.ExecEvalErr: {Every: 1}})
+	res, err := eng.QueryMultiCtx(context.Background(), tuples, Options{K: 5})
+	if res != nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("QueryMultiCtx = (%v, %v), want (nil, ErrInjected)", res, err)
+	}
+}
+
+// TestFaultExecEvalPanicWorkerIsolated: with Parallelism > 1 every
+// lattice-node evaluation runs on a worker goroutine, so an injected panic
+// there would kill the process if workers did not recover. The search must
+// instead surface a *topk.PanicError carrying the worker's stack.
+func TestFaultExecEvalPanicWorkerIsolated(t *testing.T) {
+	eng, tuples := faultQueryFixture(t)
+	armFault(t, fault.Config{fault.ExecEvalPanic: {Every: 1, Limit: 1}})
+	res, err := eng.QueryMultiCtx(context.Background(), tuples, Options{K: 5, Parallelism: 4})
+	if res != nil || err == nil {
+		t.Fatalf("QueryMultiCtx = (%v, %v), want worker panic error", res, err)
+	}
+	var pe *topk.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *topk.PanicError", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no worker stack")
+	}
+	// The fault is limit=1 and has fired: the engine must be fully healthy
+	// again — the same query on the same engine now succeeds.
+	res, err = eng.QueryMultiCtx(context.Background(), tuples, Options{K: 5, Parallelism: 4})
+	if err != nil || res == nil || len(res.Answers) == 0 {
+		t.Fatalf("engine did not recover after fault exhausted: (%v, %v)", res, err)
+	}
+}
+
+// TestFaultStorageTablePanicRecovered: the storage probe layer's only fault
+// shape is a panic; with parallel workers it must be isolated exactly like
+// an evaluation panic.
+func TestFaultStorageTablePanicRecovered(t *testing.T) {
+	eng, tuples := faultQueryFixture(t)
+	// Let MQG discovery (which also probes tables on the caller goroutine)
+	// finish before arming the panic for the search phase: a generous After
+	// skips the discovery-phase probes.
+	res, err := eng.QueryMultiCtx(context.Background(), tuples, Options{K: 5, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("baseline query: %v", err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("baseline query returned no answers")
+	}
+	armFault(t, fault.Config{fault.StorageTablePanic: {Every: 1, Limit: 1, After: discoveryProbes(t, eng, tuples)}})
+	callerPanic := false
+	res2, err := func() (r *Result, e error) {
+		// A probe on the caller goroutine (join-plan construction, scoring)
+		// panics through QueryMultiCtx itself: at this layer that is the
+		// documented behavior — the serving layer isolates it — so the test
+		// recovers and skips rather than crashing the suite.
+		defer func() {
+			if v := recover(); v != nil {
+				callerPanic = true
+			}
+		}()
+		return eng.QueryMultiCtx(context.Background(), tuples, Options{K: 5, Parallelism: 4})
+	}()
+	if callerPanic {
+		t.Skip("storage fault consumed on the caller goroutine; isolation for that topology is exercised at the serving layer")
+	}
+	var pe *topk.PanicError
+	if err == nil {
+		// The fault's single fire was spent on a speculative evaluation the
+		// coordinator discarded: the search legitimately succeeds, but only a
+		// fully correct result is acceptable.
+		if res2 == nil || len(res2.Answers) != len(res.Answers) {
+			t.Fatalf("fault run returned different answers without an error")
+		}
+		t.Skip("storage fault consumed by a discarded speculative evaluation")
+	}
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *topk.PanicError", err, err)
+	}
+}

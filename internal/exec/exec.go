@@ -24,6 +24,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"gqbe/internal/fault"
 	"gqbe/internal/graph"
 	"gqbe/internal/lattice"
 	"gqbe/internal/storage"
@@ -313,6 +314,12 @@ func (ev *Evaluator) Evaluate(q lattice.EdgeSet) (*Rows, error) {
 	if q == 0 {
 		return nil, errors.New("exec: empty query graph")
 	}
+	// Injection points sit before the memo lock so an injected panic can
+	// never strand the mutex; when disarmed each is a nil-check.
+	if err := fault.Check(fault.ExecEvalErr); err != nil {
+		return nil, err
+	}
+	fault.PanicIf(fault.ExecEvalPanic)
 	// One lock hold for the memo hit, the child probe, and the counter;
 	// the join below runs outside it, reading only immutable child rows.
 	childEdge := -1

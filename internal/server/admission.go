@@ -3,7 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
+
+	"gqbe/internal/fault"
 )
 
 // errSaturated reports that every worker slot stayed busy for the whole
@@ -18,6 +21,11 @@ var errSaturated = errors.New("server: saturated, try again later")
 type admission struct {
 	slots   chan struct{}
 	maxWait time.Duration
+	// waiting counts requests blocked on the slow acquire path. It is the
+	// live queue depth behind the jittered Retry-After derivation and the
+	// brownout detector: depth only builds while every slot stays busy, so
+	// a nonzero reading is itself evidence of sustained saturation.
+	waiting atomic.Int64
 }
 
 func newAdmission(capacity int, maxWait time.Duration) *admission {
@@ -38,11 +46,19 @@ func (a *admission) acquire(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The injected saturation sheds immediately rather than after the real
+	// maxWait: the fault models "every slot stayed busy for the full wait",
+	// and making the chaos suites actually sleep it out would buy nothing.
+	if fault.Fires(fault.AdmissionFull) {
+		return errSaturated
+	}
 	select {
 	case <-a.slots:
 		return nil
 	default:
 	}
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
 	timer := time.NewTimer(a.maxWait)
 	defer timer.Stop()
 	select {
@@ -60,3 +76,7 @@ func (a *admission) release() { a.slots <- struct{}{} }
 
 // busy returns the number of slots currently held.
 func (a *admission) busy() int { return cap(a.slots) - len(a.slots) }
+
+// queueDepth returns how many requests are currently blocked waiting for a
+// slot.
+func (a *admission) queueDepth() int { return int(a.waiting.Load()) }

@@ -89,6 +89,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batchItems.Add(uint64(len(req.Queries)))
 	s.met.requests.Add(uint64(len(req.Queries)))
 
+	// One engine generation for the whole envelope: a hot reload landing
+	// mid-batch must not split the batch's items across two engines.
+	eg := s.engine()
 	items := make([]*batchItem, len(req.Queries))
 	// groups collects dedupable items by (cache key, effective timeout):
 	// items differing only in timeout_ms are the same cache entry but not
@@ -113,13 +116,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			it.fail = &errorDetail{Code: "bad_request", Message: err.Error()}
 			continue
 		}
-		if name, ok := unknownEntity(s.eng, tuples); !ok {
+		if name, ok := unknownEntity(eg.eng, tuples); !ok {
 			s.met.errored.Add(1)
 			it.fail = &errorDetail{Code: "unknown_entity", Message: fmt.Sprintf("unknown entity %q", name)}
 			continue
 		}
 		it.tuples, it.opts = tuples, opts
-		it.key = cacheKeyFor(tuples, opts)
+		it.key = keyFor(eg, tuples, opts)
 		it.timeout = s.effectiveTimeout(q.TimeoutMillis)
 		it.noCache = q.NoCache
 		if it.noCache {
@@ -161,6 +164,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				// as net/http's own recover would have done for /v1/query.
 				s.cfg.Logger.Error("panic serving batch item",
 					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				s.met.recoveredPanics.Add(1)
 				detail := errorDetail{Code: "internal", Message: "internal server error"}
 				for _, it := range group {
 					if it.resp == nil && it.fail == nil {
@@ -174,7 +178,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Batch items run untraced: tracing is a per-query diagnosis surface
 		// (explain, slow-query logs), and one tracer cannot be shared across
 		// a batch's concurrent groups.
-		res, flags, err := s.answer(ctx, lead.key, lead.tuples, lead.opts, lead.timeout, lead.noCache, gate, nil)
+		res, flags, err := s.answer(ctx, eg, lead.key, lead.tuples, lead.opts, lead.timeout, lead.noCache, gate, nil)
 		for i, it := range group {
 			if i > 0 {
 				s.met.batchDeduped.Add(1)
@@ -194,8 +198,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				// A duplicate was answered by its group, full stop: carrying
 				// the group's cached/coalesced flags would make response
 				// flags disagree with the /statz counters, which count each
-				// lookup or coalesce once.
-				f = answerFlags{deduped: true}
+				// lookup or coalesce once. The degradation labels DO carry
+				// over — a duplicate of a stale or browned-out answer is just
+				// as stale or browned-out.
+				f = answerFlags{deduped: true, stale: flags.stale, brownedOut: flags.brownedOut}
 			}
 			if f.cached {
 				s.met.cacheServ.Add(1)

@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gqbe"
+	"gqbe/internal/fault"
 )
 
 // resultCache is a sharded LRU cache of query results keyed by the
@@ -13,10 +15,19 @@ import (
 // contention negligible under concurrent serving: each key hashes to one
 // shard, and each shard is an independently locked LRU list.
 //
+// Entries carry their storage time. Past the cache's soft TTL an entry stops
+// satisfying get — the request recomputes — but is deliberately retained:
+// getStale can still serve it when the engine errors or admission sheds, with
+// the degradation made visible to the client instead of silently serving old
+// data on the happy path.
+//
 // Cached *gqbe.Result values are shared between requests and must be treated
 // as immutable by every reader.
 type resultCache struct {
 	shards []*cacheShard
+	// softTTL is the freshness horizon for get; 0 means entries never go
+	// stale. getStale ignores it by design.
+	softTTL time.Duration
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -34,8 +45,9 @@ type cacheShard struct {
 // cacheEntry is the list payload: the key is duplicated so eviction from the
 // list tail can delete the map entry.
 type cacheEntry struct {
-	key string
-	val *gqbe.Result
+	key      string
+	val      *gqbe.Result
+	storedAt time.Time
 }
 
 // newResultCache builds a cache of at most entries results spread over
@@ -81,9 +93,18 @@ func (c *resultCache) shardFor(key string) *cacheShard {
 	return c.shards[h%uint32(len(c.shards))]
 }
 
-// get returns the cached result for key, promoting it to most recently used.
+// get returns the cached result for key if it is still fresh, promoting it to
+// most recently used. A stale entry counts as a miss but stays cached for
+// getStale.
 func (c *resultCache) get(key string) (*gqbe.Result, bool) {
 	if c == nil {
+		return nil, false
+	}
+	// The injected miss leaves the entry untouched: the point's contract is
+	// that stale-serving still finds it, which is exactly what lets the chaos
+	// suite force "recompute fails, stale fallback succeeds" on a warm key.
+	if fault.Fires(fault.CacheMiss) {
+		c.misses.Add(1)
 		return nil, false
 	}
 	s := c.shardFor(key)
@@ -91,10 +112,15 @@ func (c *resultCache) get(key string) (*gqbe.Result, bool) {
 	el, ok := s.items[key]
 	var val *gqbe.Result
 	if ok {
-		s.order.MoveToFront(el)
-		// Copy the value while still holding the lock: put's refresh path
-		// mutates entry.val under it.
-		val = el.Value.(*cacheEntry).val
+		e := el.Value.(*cacheEntry)
+		if c.softTTL > 0 && time.Since(e.storedAt) > c.softTTL {
+			ok = false
+		} else {
+			s.order.MoveToFront(el)
+			// Copy the value while still holding the lock: put's refresh path
+			// mutates entry.val under it.
+			val = e.val
+		}
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -103,6 +129,27 @@ func (c *resultCache) get(key string) (*gqbe.Result, bool) {
 	}
 	c.hits.Add(1)
 	return val, true
+}
+
+// getStale returns the cached result for key regardless of freshness, with
+// its age. It is the degraded-path lookup: no hit/miss accounting (the
+// fresh-path get already recorded the miss that got us here) and no injected
+// misses. The entry is promoted so a key being actively stale-served survives
+// LRU pressure for as long as the outage that made it valuable.
+func (c *resultCache) getStale(key string) (*gqbe.Result, time.Duration, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, 0, false
+	}
+	s.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.val, time.Since(e.storedAt), true
 }
 
 // put inserts (or refreshes) key's result, evicting the least recently used
@@ -115,7 +162,8 @@ func (c *resultCache) put(key string, val *gqbe.Result) {
 	evicted := false
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.storedAt = val, time.Now()
 		s.order.MoveToFront(el)
 	} else {
 		if s.order.Len() >= s.capacity {
@@ -126,11 +174,26 @@ func (c *resultCache) put(key string, val *gqbe.Result) {
 				evicted = true
 			}
 		}
-		s.items[key] = s.order.PushFront(&cacheEntry{key: key, val: val})
+		s.items[key] = s.order.PushFront(&cacheEntry{key: key, val: val, storedAt: time.Now()})
 	}
 	s.mu.Unlock()
 	if evicted {
 		c.evictions.Add(1)
+	}
+}
+
+// purge drops every entry. Called after a successful hot reload: the new
+// engine generation prefixes its keys, so old-generation entries are already
+// unreachable — purging just returns their memory promptly.
+func (c *resultCache) purge() {
+	if c == nil {
+		return
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.order.Init()
+		s.items = make(map[string]*list.Element)
+		s.mu.Unlock()
 	}
 }
 

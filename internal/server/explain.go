@@ -62,6 +62,17 @@ type explainNodeEval struct {
 	EvalUS     int64   `json:"eval_us"`
 }
 
+// Default caps on the explain response's two unbounded lists. A k=1000,
+// depth-4 query can evaluate tens of thousands of lattice nodes; replaying
+// every one into node_evals (and its span into the trace tree) would build
+// multi-megabyte responses from a legitimate request. Past either cap the
+// response sets "truncated": true; the kept prefix is the meaningful one —
+// node_evals is in deterministic pop order and spans are kept depth-first.
+const (
+	defaultExplainMaxNodeEvals = 512
+	defaultExplainMaxSpans     = 2048
+)
+
 // spanJSON is one span of the explain response's trace tree; offsets and
 // durations are microseconds from the trace root's start.
 type spanJSON struct {
@@ -98,6 +109,10 @@ type explainResponse struct {
 	NodeEvals []explainNodeEval `json:"node_evals"`
 	Trace     spanJSON          `json:"trace"`
 	Serving   explainServing    `json:"serving"`
+	// Truncated marks a response whose node_evals and/or trace tree were cut
+	// at the server's size caps; lattice/stats still describe the full
+	// search (e.g. stats.nodes_evaluated may exceed len(node_evals)).
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // handleExplain is POST /v1/query:explain: the same request body as
@@ -123,6 +138,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if p := recover(); p != nil {
 			s.cfg.Logger.Error("panic serving explain",
 				"request_id", reqID, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			s.met.recoveredPanics.Add(1)
 			s.met.errored.Add(1)
 			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 		}
@@ -139,7 +155,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	if name, ok := unknownEntity(s.eng, tuples); !ok {
+	eg := s.engine()
+	if name, ok := unknownEntity(eg.eng, tuples); !ok {
 		s.met.errored.Add(1)
 		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
 		return
@@ -148,8 +165,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// Explain is always traced, whatever the server's Trace setting.
 	tr := obs.New()
 	timeout := s.effectiveTimeout(req.TimeoutMillis)
-	key := cacheKeyFor(tuples, opts)
-	res, flags, err := s.answer(r.Context(), key, tuples, opts, timeout, true, nil, tr)
+	key := keyFor(eg, tuples, opts)
+	res, flags, err := s.answer(r.Context(), eg, key, tuples, opts, timeout, true, nil, tr)
 	total := time.Since(start)
 	root := tr.Finish()
 	s.logQuery(reqID, "/v1/query:explain", tuples, total, res, flags, err, root)
@@ -161,6 +178,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// served explains (the accounting invariant places every request in
 	// exactly one outcome bucket).
 	s.met.served.Add(1)
+	truncated := false
+	evals := tr.NodeEvals()
+	if len(evals) > s.explainNodeEvalCap {
+		evals = evals[:s.explainNodeEvalCap]
+		truncated = true
+	}
+	spanBudget := s.explainSpanCap - 1 // the root span is always kept
 	resp := explainResponse{
 		RequestID: reqID,
 		Answers:   toAnswersJSON(res),
@@ -174,8 +198,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			FrontierRecomputations: res.Stats.FrontierRecomputes,
 			StopReason:             res.Stats.Stopped,
 		},
-		NodeEvals: toExplainNodeEvals(tr.NodeEvals()),
-		Trace:     spanToJSON(root),
+		NodeEvals: toExplainNodeEvals(evals),
+		Trace:     spanToJSON(root, &spanBudget, &truncated),
 		Serving: explainServing{
 			QueueWaitMS: float64(queueWaitOf(root)) / float64(time.Millisecond),
 			Workers:     s.cfg.SearchWorkers,
@@ -183,6 +207,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Cached:      flags.cached,
 			Coalesced:   flags.coalesced,
 		},
+		Truncated: truncated,
 	}
 	if err != nil {
 		resp.Partial = true
@@ -234,7 +259,11 @@ func toExplainNodeEvals(evals []obs.NodeEval) []explainNodeEval {
 	return out
 }
 
-func spanToJSON(sp *obs.Span) spanJSON {
+// spanToJSON converts a span tree depth-first under a shared span budget
+// (the converted span itself is the caller's cost; children each consume one
+// unit). When the budget runs out, remaining children are dropped and
+// *truncated is set — earlier (pipeline-ordered) spans are the kept prefix.
+func spanToJSON(sp *obs.Span, budget *int, truncated *bool) spanJSON {
 	out := spanJSON{
 		Name:       sp.Name,
 		StartUS:    sp.Start.Microseconds(),
@@ -247,7 +276,12 @@ func spanToJSON(sp *obs.Span) spanJSON {
 		}
 	}
 	for _, c := range sp.Children {
-		out.Children = append(out.Children, spanToJSON(c))
+		if *budget <= 0 {
+			*truncated = true
+			break
+		}
+		*budget--
+		out.Children = append(out.Children, spanToJSON(c, budget, truncated))
 	}
 	return out
 }

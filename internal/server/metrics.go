@@ -34,6 +34,13 @@ type serverMetrics struct {
 
 	slowQueries atomic.Uint64 // requests whose total handling time met Config.SlowQuery
 
+	// Degraded-service counters (the /statz "faults" section):
+	recoveredPanics atomic.Uint64 // panics recovered into 500s (handler recover sites + engine worker panics)
+	staleServed     atomic.Uint64 // degraded answers served from retained cache entries
+	reloadsOK       atomic.Uint64 // hot reloads that swapped in a new engine generation
+	reloadsRejected atomic.Uint64 // hot reloads rejected (loader failed); serving engine retained
+	brownouts       atomic.Uint64 // searches executed under the brownout clamp
+
 	// The three request-latency histograms, Prometheus-shaped (cumulative
 	// fixed buckets) so /metrics can expose them directly and /statz can
 	// derive its p50/p90/p99 from the same data:
@@ -108,6 +115,24 @@ type statzSearch struct {
 	Workers int `json:"workers"`
 }
 
+// statzReloads splits hot-reload attempts by outcome; a rejected attempt
+// means the loader failed and the previous engine kept serving.
+type statzReloads struct {
+	OK       uint64 `json:"ok"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// statzFaults is the degraded-service section of a /statz snapshot: what the
+// fault layer injected (process lifetime, surviving disable) and how the
+// server absorbed failures.
+type statzFaults struct {
+	Injected        uint64       `json:"injected"`
+	RecoveredPanics uint64       `json:"recovered_panics"`
+	StaleServed     uint64       `json:"stale_served"`
+	Reloads         statzReloads `json:"reloads"`
+	Brownouts       uint64       `json:"brownouts"`
+}
+
 // statzSnapshot is the full /statz response body.
 type statzSnapshot struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -131,12 +156,16 @@ type statzSnapshot struct {
 	Engine        statzEngine  `json:"engine"`
 	Build         statzBuild   `json:"build"`
 	Search        statzSearch  `json:"search"`
+	Faults        statzFaults  `json:"faults"`
+	// Generation is the serving engine's hot-reload generation (1 at boot,
+	// +1 per successful reload).
+	Generation uint64 `json:"engine_generation"`
 }
 
 // snapshot assembles a consistent-enough view of the serving metrics: each
 // counter is read atomically; cross-counter skew of a few requests is fine
 // for a stats endpoint.
-func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild, search statzSearch) statzSnapshot {
+func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEngine, build statzBuild, search statzSearch, faultsInjected, generation uint64) statzSnapshot {
 	uptime := time.Since(m.start).Seconds()
 	lat := m.searchLat.Snapshot()
 	hits, misses, evictions := cache.counters()
@@ -183,5 +212,16 @@ func (m *serverMetrics) snapshot(cache *resultCache, adm *admission, eng statzEn
 		Engine: eng,
 		Build:  build,
 		Search: search,
+		Faults: statzFaults{
+			Injected:        faultsInjected,
+			RecoveredPanics: m.recoveredPanics.Load(),
+			StaleServed:     m.staleServed.Load(),
+			Reloads: statzReloads{
+				OK:       m.reloadsOK.Load(),
+				Rejected: m.reloadsRejected.Load(),
+			},
+			Brownouts: m.brownouts.Load(),
+		},
+		Generation: generation,
 	}
 }

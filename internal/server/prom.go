@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"gqbe/internal/fault"
 	"gqbe/internal/obs"
 )
 
@@ -22,6 +23,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.met
+	eg := s.engine()
 	hits, misses, evictions := s.cache.counters()
 
 	var b bytes.Buffer
@@ -59,13 +61,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promCounter(&b, "gqbe_slow_queries_total",
 		"Requests whose total handling time reached the slow-query threshold.", m.slowQueries.Load())
 
+	promCounter(&b, "gqbe_faults_injected_total",
+		"Faults fired by the injection registry over the process lifetime (0 in production).", fault.Injected())
+	promCounter(&b, "gqbe_recovered_panics_total",
+		"Panics recovered into error responses (request handlers and search workers); the process survived each one.", m.recoveredPanics.Load())
+	promCounter(&b, "gqbe_stale_served_total",
+		"Degraded answers served from retained cache entries after a live-path failure.", m.staleServed.Load())
+	promHeader(&b, "gqbe_reloads_total",
+		"Hot engine reload attempts by outcome; a rejected attempt left the previous engine serving.", "counter")
+	fmt.Fprintf(&b, "gqbe_reloads_total{outcome=%q} %d\n", "ok", m.reloadsOK.Load())
+	fmt.Fprintf(&b, "gqbe_reloads_total{outcome=%q} %d\n", "rejected", m.reloadsRejected.Load())
+	promCounter(&b, "gqbe_brownouts_total",
+		"Searches executed under the brownout clamp (reduced k-prime and evaluation budget).", m.brownouts.Load())
+
 	promGauge(&b, "gqbe_cache_entries", "Result cache entries resident.", float64(s.cache.len()))
 	promGauge(&b, "gqbe_in_flight_requests", "Requests currently being handled.", float64(m.inFlight.Load()))
 	promGauge(&b, "gqbe_busy_workers", "Admission worker slots currently held by searches.", float64(s.adm.busy()))
 	promGauge(&b, "gqbe_search_workers", "Configured lattice-search fan-out per query.", float64(s.cfg.SearchWorkers))
-	promGauge(&b, "gqbe_graph_entities", "Entities in the loaded knowledge graph.", float64(s.eng.NumEntities()))
-	promGauge(&b, "gqbe_graph_facts", "Facts (triples) in the loaded knowledge graph.", float64(s.eng.NumFacts()))
-	promGauge(&b, "gqbe_graph_predicates", "Distinct predicates in the loaded knowledge graph.", float64(s.eng.NumPredicates()))
+	promGauge(&b, "gqbe_graph_entities", "Entities in the loaded knowledge graph.", float64(eg.eng.NumEntities()))
+	promGauge(&b, "gqbe_graph_facts", "Facts (triples) in the loaded knowledge graph.", float64(eg.eng.NumFacts()))
+	promGauge(&b, "gqbe_graph_predicates", "Distinct predicates in the loaded knowledge graph.", float64(eg.eng.NumPredicates()))
+	promGauge(&b, "gqbe_engine_generation",
+		"Serving engine's hot-reload generation (1 at boot, +1 per successful reload).", float64(eg.gen))
 
 	promHistogram(&b, "gqbe_search_latency_seconds",
 		"Engine search time per executed query (queue wait excluded; cache hits and coalesced answers excluded).",

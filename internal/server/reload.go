@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errReloadUnsupported is returned by Reload when no Config.Reload loader
+// was configured; /admin/reload maps it to 501.
+var errReloadUnsupported = errors.New("server: reload not configured")
+
+// Reload hot-swaps the serving engine: it runs the configured loader, and on
+// success publishes the candidate as the next engine generation. In-flight
+// requests are untouched — each captured its engineGen at entry and finishes
+// on it — and new requests pick up the new generation on their next engine()
+// load; there is no drain, no lock on the serving path, no dropped request.
+//
+// A loader failure (corrupt snapshot, unreadable file) REJECTS the reload:
+// the error is counted and logged, and the serving engine is retained
+// exactly as it was. A bad candidate can never take down a healthy server.
+//
+// Returns the generation serving after the call (unchanged on rejection).
+func (s *Server) Reload() (uint64, error) {
+	if s.cfg.Reload == nil {
+		return s.engine().gen, errReloadUnsupported
+	}
+	// One reload at a time: a SIGHUP racing a POST /admin/reload must not
+	// run two loads (each can cost a full snapshot read) or interleave
+	// generation bumps.
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	eng, err := s.cfg.Reload()
+	if err != nil {
+		s.met.reloadsRejected.Add(1)
+		s.cfg.Logger.Error("hot reload rejected; serving engine retained", "error", err)
+		return s.engine().gen, fmt.Errorf("server: reload rejected: %w", err)
+	}
+	next := &engineGen{eng: eng, gen: s.engine().gen + 1}
+	s.engp.Store(next)
+	// Old-generation cache and flight keys are unreachable from here on
+	// (keys embed the generation), so purging is purely about returning
+	// their memory now instead of waiting for LRU churn to evict dead
+	// entries one by one.
+	s.cache.purge()
+	s.met.reloadsOK.Add(1)
+	s.cfg.Logger.Info("hot reload complete",
+		"generation", next.gen, "entities", eng.NumEntities(), "facts", eng.NumFacts())
+	return next.gen, nil
+}
+
+// handleReload is POST /admin/reload: the HTTP trigger for Reload (gqbed
+// also wires SIGHUP to it). 501 when no loader is configured, 500 with
+// "reload_failed" when the candidate was rejected — the response makes it
+// explicit that the previous engine is still serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	gen, err := s.Reload()
+	if errors.Is(err, errReloadUnsupported) {
+		writeError(w, http.StatusNotImplemented, "reload_unsupported", "no reload source configured")
+		return
+	}
+	if err != nil {
+		// The loader's error is operator-facing detail (this is an admin
+		// endpoint), and the retained generation tells them what still runs.
+		writeError(w, http.StatusInternalServerError, "reload_failed",
+			fmt.Sprintf("%v; generation %d retained", err, gen))
+		return
+	}
+	eg := s.engine()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": gen,
+		"entities":   eg.eng.NumEntities(),
+		"facts":      eg.eng.NumFacts(),
+	})
+}

@@ -1,0 +1,28 @@
+package server
+
+// retryAfterSeconds derives the Retry-After hint on shed (429) responses
+// from live overload instead of a constant: the base grows with the current
+// admission queue depth relative to capacity, and a deterministic jitter
+// spreads the final value over [base, 2·base]. A constant hint synchronizes
+// every shed client into retry waves that arrive together and get shed
+// together; the jitter decorrelates them, and the depth-derived base tells
+// clients to back off longer the deeper the standing queue actually is.
+func (s *Server) retryAfterSeconds() int {
+	base := 1 + s.adm.queueDepth()/s.cfg.MaxConcurrent
+	if base > 8 {
+		base = 8
+	}
+	// splitmix64 over a per-response sequence number, not a global RNG: the
+	// spread is deterministic for tests and race-free without locking.
+	jitter := int(splitmix64(s.retrySeq.Add(1)) % uint64(base+1))
+	return base + jitter
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche bijection on
+// uint64, so consecutive sequence numbers map to well-spread values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -44,13 +44,17 @@ import (
 	"net/url"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"gqbe"
 	"gqbe/internal/exec"
+	"gqbe/internal/fault"
 	"gqbe/internal/obs"
+	"gqbe/internal/topk"
 )
 
 // Server-side caps on client-tunable options. The admission layer bounds
@@ -134,6 +138,38 @@ type Config struct {
 	// Logger receives the server's structured logs (slow queries, per-query
 	// debug records, panic reports). Nil selects slog.Default().
 	Logger *slog.Logger
+	// Reload, when non-nil, is the engine loader behind hot reload
+	// (POST /admin/reload, and SIGHUP in gqbed): it builds a candidate engine
+	// from the configured sources and returns it, or an error when the
+	// sources are unusable (corrupt snapshot, missing file). A failed load
+	// rejects the reload and the serving engine is retained untouched. Nil
+	// disables the endpoint (501).
+	Reload func() (*gqbe.Engine, error)
+	// StaleServe opts in to degraded serving: when live computation fails
+	// with a server-side error (shed by admission, internal fault, engine
+	// failure) and the result cache still holds an entry for the key — fresh
+	// or past its soft TTL — that entry is served with "stale": true and an
+	// Age header instead of the error. Off by default: silently serving old
+	// answers must be an operator's explicit choice.
+	StaleServe bool
+	// StaleTTL is the result cache's freshness horizon: entries older than
+	// this stop satisfying normal lookups (the query recomputes) but remain
+	// eligible for stale serving. 0 selects 1 minute; negative means entries
+	// never go stale.
+	StaleTTL time.Duration
+	// BrownoutQueue, when positive, engages brownout mode while the
+	// admission queue depth is at or past it: searches run with KPrime
+	// clamped to BrownoutKPrime and evaluations capped at
+	// BrownoutMaxEvaluations, and answers are labeled "browned_out" —
+	// partial service under sustained saturation instead of pure shedding.
+	// 0 disables brownout.
+	BrownoutQueue int
+	// BrownoutKPrime is the candidate-list clamp under brownout (default 32;
+	// the paper's default k′ is 100+).
+	BrownoutKPrime int
+	// BrownoutMaxEvaluations caps lattice-node evaluations per search under
+	// brownout (default 512).
+	BrownoutMaxEvaluations int
 }
 
 // WithDefaults returns c with every unset field filled in and the
@@ -193,6 +229,15 @@ func (c *Config) fill() {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.StaleTTL == 0 {
+		c.StaleTTL = time.Minute
+	}
+	if c.BrownoutKPrime <= 0 {
+		c.BrownoutKPrime = 32
+	}
+	if c.BrownoutMaxEvaluations <= 0 {
+		c.BrownoutMaxEvaluations = 512
+	}
 }
 
 // maxBodyBytes bounds a query request body; tuples are entity names, so even
@@ -204,10 +249,23 @@ const maxBodyBytes = 1 << 20
 // stays in the server log, never in a response.
 var errInternal = errors.New("server: internal error")
 
-// Server serves query-by-example requests over one immutable engine. It is
+// engineGen pairs a serving engine with its hot-reload generation. The
+// server holds the current one behind an atomic pointer; every request
+// captures it exactly once at entry and uses that capture throughout, so a
+// reload mid-request can never mix two engines in one answer, and in-flight
+// requests finish on the engine they started with (never dropped by a swap).
+// Cache and singleflight keys embed the generation, so results computed on
+// one engine are unreachable from another.
+type engineGen struct {
+	eng *gqbe.Engine
+	gen uint64
+}
+
+// Server serves query-by-example requests over one immutable engine (per
+// generation — hot reload swaps in a new immutable engine atomically). It is
 // an http.Handler; all state it mutates is safe for concurrent use.
 type Server struct {
-	eng     *gqbe.Engine
+	engp    atomic.Pointer[engineGen]
 	cfg     Config
 	adm     *admission
 	cache   *resultCache
@@ -215,12 +273,27 @@ type Server struct {
 	met     *serverMetrics
 	mux     *http.ServeMux
 
+	// reloadMu serializes hot reloads: concurrent triggers (SIGHUP racing
+	// POST /admin/reload) must not both load a candidate and fight over the
+	// generation counter.
+	reloadMu sync.Mutex
+
 	// reqSeq numbers requests within this process; combined with idBase
 	// (stamped from the start time at construction) it yields request IDs
 	// unique across restarts, so interleaved logs from two daemon runs never
 	// collide.
 	reqSeq atomic.Uint64
 	idBase string
+	// retrySeq feeds the deterministic jitter of shed responses'
+	// Retry-After; see retryAfterSeconds.
+	retrySeq atomic.Uint64
+
+	// explainNodeEvalCap / explainSpanCap bound the explain response's two
+	// unbounded-by-nature lists (per-node evaluation table, trace tree);
+	// past either cap the response is cut and marked "truncated". Set from
+	// the package defaults in New; tests may lower them before serving.
+	explainNodeEvalCap int
+	explainSpanCap     int
 
 	// execHook, when non-nil, is called at the start of every real engine
 	// execution (after admission, before the search). Tests use it to count
@@ -232,14 +305,19 @@ type Server struct {
 func New(eng *gqbe.Engine, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		eng:     eng,
-		cfg:     cfg,
-		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
-		flights: newFlightGroup(),
-		met:     newServerMetrics(),
-		mux:     http.NewServeMux(),
-		idBase:  fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+		cfg:                cfg,
+		adm:                newAdmission(cfg.MaxConcurrent, cfg.MaxQueueWait),
+		cache:              newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		flights:            newFlightGroup(),
+		met:                newServerMetrics(),
+		mux:                http.NewServeMux(),
+		idBase:             fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+		explainNodeEvalCap: defaultExplainMaxNodeEvals,
+		explainSpanCap:     defaultExplainMaxSpans,
+	}
+	s.engp.Store(&engineGen{eng: eng, gen: 1})
+	if s.cache != nil && cfg.StaleTTL > 0 {
+		s.cache.softTTL = cfg.StaleTTL
 	}
 	// Method routing is done in the handlers (not mux patterns) so the
 	// binary behaves identically across Go releases.
@@ -250,8 +328,13 @@ func New(eng *gqbe.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	return s
 }
+
+// engine returns the current engine generation. Request handlers call it
+// once at entry; everything downstream receives the captured *engineGen.
+func (s *Server) engine() *engineGen { return s.engp.Load() }
 
 // nextRequestID mints the request ID echoed in the X-Request-ID header and
 // carried by every structured log record for the request.
@@ -369,6 +452,14 @@ type queryResponse struct {
 	// Deduped marks a batch item answered by an identical item in the same
 	// batch.
 	Deduped bool `json:"deduped,omitempty"`
+	// Stale marks a degraded answer: the live computation failed and a
+	// previously computed result was served in its place (its age rides in
+	// the response's Age header). Only possible with Config.StaleServe on.
+	Stale bool `json:"stale,omitempty"`
+	// BrownedOut marks an answer computed under the brownout clamp (reduced
+	// candidate list and evaluation budget): correct as far as it goes, but
+	// possibly missing answers a full search would have ranked.
+	BrownedOut bool `json:"browned_out,omitempty"`
 }
 
 // Request-validation sentinels. normalize's errors cross the server
@@ -474,6 +565,16 @@ func cacheKeyFor(tuples [][]string, o gqbe.Options) string {
 	return b.String()
 }
 
+// keyFor is the serving-layer cache/singleflight key: the normalized request
+// key prefixed with the engine generation. The prefix is what makes hot
+// reload safe against the cache and the flight group without locking either:
+// results computed on generation N live under "gN|…" keys no generation N+1
+// request ever constructs, so a swap can never serve a pre-reload answer or
+// coalesce requests across engines.
+func keyFor(eg *engineGen, tuples [][]string, o gqbe.Options) string {
+	return "g" + strconv.FormatUint(eg.gen, 10) + "|" + cacheKeyFor(tuples, o)
+}
+
 // handleQuery is POST /v1/query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -495,6 +596,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if p := recover(); p != nil {
 			s.cfg.Logger.Error("panic serving query",
 				"request_id", reqID, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			s.met.recoveredPanics.Add(1)
 			s.met.errored.Add(1)
 			writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 		}
@@ -511,18 +613,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	eg := s.engine()
 	// Resolve entity names before admission: an unknown name is answerable
 	// in microseconds, so it must not take a worker slot nor be recorded as
 	// a search latency (which would drag the /statz percentiles toward 0).
-	if name, ok := unknownEntity(s.eng, tuples); !ok {
+	if name, ok := unknownEntity(eg.eng, tuples); !ok {
 		s.met.errored.Add(1)
 		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
 		return
 	}
 
 	tr := s.newTracer()
-	key := cacheKeyFor(tuples, opts)
-	res, flags, err := s.answer(r.Context(), key, tuples, opts, s.effectiveTimeout(req.TimeoutMillis), req.NoCache, nil, tr)
+	key := keyFor(eg, tuples, opts)
+	res, flags, err := s.answer(r.Context(), eg, key, tuples, opts, s.effectiveTimeout(req.TimeoutMillis), req.NoCache, nil, tr)
 	s.logQuery(reqID, "/v1/query", tuples, time.Since(start), res, flags, err, tr.Finish())
 	if err != nil {
 		s.writeQueryError(w, err, res)
@@ -530,6 +633,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if flags.cached {
 		s.met.cacheServ.Add(1)
+	}
+	if flags.stale {
+		// RFC 9111's Age semantics fit exactly: seconds since the response
+		// was generated. Clients distinguishing "fresh" from "old but
+		// served anyway" read this alongside "stale": true.
+		w.Header().Set("Age", strconv.Itoa(int(flags.staleAge/time.Second)))
 	}
 	s.met.served.Add(1)
 	writeJSON(w, http.StatusOK, toResponse(res, flags))
@@ -550,11 +659,16 @@ func (s *Server) effectiveTimeout(timeoutMillis int) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
-// answerFlags says how a query was satisfied without engine work of its own.
+// answerFlags says how a query was satisfied without engine work of its own,
+// and which degraded modes shaped the answer.
 type answerFlags struct {
 	cached    bool // served from the result cache
 	coalesced bool // served by joining an identical in-flight search
 	deduped   bool // (batch only) served by an identical item in the same batch
+
+	stale      bool          // live computation failed; a retained cache entry was served
+	staleAge   time.Duration // age of that entry (Age response header)
+	brownedOut bool          // computed under the brownout clamp
 }
 
 // answer serves one normalized query through the full serving stack: result
@@ -575,7 +689,40 @@ type answerFlags struct {
 // "engine" on paths that run the engine, "singleflight.wait" when this
 // request follows another's flight. It is nil-safe and adds no cost when
 // disabled.
-func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}, tr *obs.Tracer) (*gqbe.Result, answerFlags, error) {
+//
+// With Config.StaleServe on, a server-side failure from the live path falls
+// back to the cache's retained entry for the key (fresh or past its soft
+// TTL): the client gets an old correct answer labeled stale instead of an
+// error. Client-attributable outcomes — cancellation, deadline (which may
+// carry a partial result), unknown entities — are never masked this way.
+func (s *Server) answer(ctx context.Context, eg *engineGen, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}, tr *obs.Tracer) (*gqbe.Result, answerFlags, error) {
+	res, flags, err := s.answerLive(ctx, eg, key, tuples, opts, timeout, noCache, gate, tr)
+	// no_cache requests asked to measure the live path; degrading them to a
+	// cached entry would defeat their purpose.
+	if err == nil || noCache || !s.cfg.StaleServe || !staleEligible(err) {
+		return res, flags, err
+	}
+	sres, age, ok := s.cache.getStale(key)
+	if !ok {
+		return res, flags, err
+	}
+	s.met.staleServed.Add(1)
+	return sres, answerFlags{stale: true, staleAge: age}, nil
+}
+
+// staleEligible reports whether an execution error is a server-side failure
+// that stale serving may mask: shedding, internal faults, engine failures.
+// Cancellation and deadline belong to the client's request (a deadline may
+// even carry a partial result), and an unknown entity can never have a
+// cached answer — none of those are served stale.
+func staleEligible(err error) bool {
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, gqbe.ErrUnknownEntity)
+}
+
+// answerLive is answer's live path: cache, singleflight, admission + engine.
+func (s *Server) answerLive(ctx context.Context, eg *engineGen, key string, tuples [][]string, opts gqbe.Options, timeout time.Duration, noCache bool, gate chan struct{}, tr *obs.Tracer) (*gqbe.Result, answerFlags, error) {
 	acquireGate := func(waitOn context.Context) error {
 		if gate == nil {
 			return nil
@@ -600,8 +747,8 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 			return nil, answerFlags{}, err
 		}
 		defer releaseGate()
-		res, _, err := s.execute(ctx, tuples, opts, timeout, nil, tr)
-		return res, answerFlags{}, err
+		res, _, bo, err := s.execute(ctx, eg, tuples, opts, timeout, nil, tr)
+		return res, answerFlags{brownedOut: bo}, err
 	}
 	if res, ok := s.cache.get(key); ok {
 		return res, answerFlags{cached: true}, nil
@@ -616,6 +763,7 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 	// and never reads this one.)
 	wait, waitCancel := context.WithTimeout(ctx, s.cfg.MaxQueueWait+timeout)
 	defer waitCancel()
+	internalRetried := false
 	for retried := false; ; retried = true {
 		if retried {
 			// An interleaved flight may have completed and cached the result
@@ -656,8 +804,8 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 		}
 		if leader {
 			defer releaseGate() // deferred so an engine panic cannot leak a gate slot
-			res, err := s.runFlight(runCtx, key, f, tuples, opts, timeout, tr)
-			return res, answerFlags{}, err
+			res, err := s.runFlight(runCtx, eg, key, f, tuples, opts, timeout, tr)
+			return res, answerFlags{brownedOut: f.brownedOut}, err
 		}
 		// The follower's whole wait is one span: on a retry loop each wait on
 		// a fresh flight gets its own.
@@ -677,11 +825,11 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 					return nil, answerFlags{}, err
 				}
 				defer releaseGate()
-				res, searched, err := s.execute(wait, tuples, opts, timeout, nil, tr)
-				if err == nil && wait.Err() == nil {
+				res, searched, bo, err := s.execute(wait, eg, tuples, opts, timeout, nil, tr)
+				if err == nil && wait.Err() == nil && !bo {
 					s.cachePut(key, res, searched)
 				}
-				return res, answerFlags{}, err
+				return res, answerFlags{brownedOut: bo}, err
 			}
 			if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
 				// The leader died of its own context — client abort or a
@@ -707,14 +855,20 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 				}
 				continue
 			}
-			if errors.Is(f.err, errInternal) {
+			if f.err != nil && isInternalFault(f.err) {
 				// A panicking leader is a transient server fault, not a
-				// shared answer: the follower gets the 500, but it does not
-				// count toward the coalescing-benefit metric.
-				return nil, answerFlags{}, f.err
+				// shared answer: instead of poisoning every follower with the
+				// leader's 500, each follower retries once — joining the next
+				// flight or leading its own — and only reports the internal
+				// failure if the retry hits one too.
+				if internalRetried {
+					return nil, answerFlags{}, f.err
+				}
+				internalRetried = true
+				continue
 			}
 			s.met.coalesced.Add(1)
-			return f.res, answerFlags{coalesced: true}, f.err
+			return f.res, answerFlags{coalesced: true, brownedOut: f.brownedOut}, f.err
 		case <-wait.Done():
 			// The follower's own deadline (or client) expired while the
 			// leader was still computing; the leader is unaffected.
@@ -727,8 +881,9 @@ func (s *Server) answer(ctx context.Context, key string, tuples [][]string, opts
 // runFlight executes the search as key's flight leader, caching a successful
 // result and guaranteeing the flight is finished — followers released — even
 // if the engine panics.
-func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration, tr *obs.Tracer) (res *gqbe.Result, err error) {
+func (s *Server) runFlight(ctx context.Context, eg *engineGen, key string, f *flight, tuples [][]string, opts gqbe.Options, timeout time.Duration, tr *obs.Tracer) (res *gqbe.Result, err error) {
 	var searched time.Duration
+	var brownedOut bool
 	defer func() {
 		if p := recover(); p != nil {
 			// Followers get the sentinel, not the panic text: an engine
@@ -739,17 +894,20 @@ func (s *Server) runFlight(ctx context.Context, key string, f *flight, tuples []
 		}
 		// A result produced under a canceled leader context is never cached:
 		// the search may have been abandoned mid-pipeline, and a truncated
-		// answer set must not be served as the query's answer forever.
-		if err == nil && ctx.Err() == nil {
+		// answer set must not be served as the query's answer forever. A
+		// browned-out result is likewise not cached — it would turn a
+		// transient overload into a permanently degraded answer for the key.
+		if err == nil && ctx.Err() == nil && !brownedOut {
 			s.cachePut(key, res, searched)
 		}
 		// Cache before finish: a request arriving in between then hits the
 		// cache instead of starting a redundant flight.
+		f.brownedOut = brownedOut
 		s.flights.finish(key, f, res, err)
 	}()
 	// Stamp the search start (post-admission) on the flight: followers use
 	// it to judge whether retrying a timed-out leader could ever succeed.
-	res, searched, err = s.execute(ctx, tuples, opts, timeout, func() { f.searchStarted = time.Now() }, tr)
+	res, searched, brownedOut, err = s.execute(ctx, eg, tuples, opts, timeout, func() { f.searchStarted = time.Now() }, tr)
 	return res, err
 }
 
@@ -804,7 +962,16 @@ const minRecordedFailure = time.Millisecond
 // The worker slot guards the search only: it is released when execute
 // returns, before any response bytes are written, so a slow-reading client
 // cannot pin a slot.
-func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func(), tr *obs.Tracer) (res *gqbe.Result, searched time.Duration, err error) {
+func (s *Server) execute(ctx context.Context, eg *engineGen, tuples [][]string, opts gqbe.Options, timeout time.Duration, onAdmitted func(), tr *obs.Tracer) (res *gqbe.Result, searched time.Duration, brownedOut bool, err error) {
+	// Brownout is judged at arrival, before this request joins the queue:
+	// standing queue depth is the sustained-saturation signal (it only
+	// builds while every slot stays busy), and clamping the searches that
+	// are about to run is what drains it.
+	if s.brownoutActive() {
+		brownedOut = true
+		s.met.brownouts.Add(1)
+		opts = brownoutClamp(opts, s.cfg)
+	}
 	// Take a worker slot before running a search. Cache hits in the caller
 	// deliberately skip admission — they cost microseconds.
 	asp := tr.Start("admission.wait")
@@ -813,7 +980,7 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	s.met.queueLat.Observe(time.Since(admStart))
 	asp.End()
 	if admErr != nil {
-		return nil, 0, admErr
+		return nil, 0, brownedOut, admErr
 	}
 	defer s.adm.release()
 	if onAdmitted != nil {
@@ -840,14 +1007,64 @@ func (s *Server) execute(ctx context.Context, tuples [][]string, opts gqbe.Optio
 	defer cancel()
 	esp := tr.Start("engine")
 	defer esp.End()
-	// Naked returns: `searched` is assigned by the deferred histogram block
-	// above, which runs after these set res/err.
+	// Naked return: `searched` is assigned by the deferred histogram block
+	// above, which runs after res/err are set.
 	if len(tuples) == 1 {
-		res, err = s.eng.QueryCtx(qctx, tuples[0], &opts)
+		res, err = eg.eng.QueryCtx(qctx, tuples[0], &opts)
+	} else {
+		res, err = eg.eng.QueryMultiCtx(qctx, tuples, &opts)
+	}
+	s.noteRecoveredPanic(err)
+	return
+}
+
+// noteRecoveredPanic counts and logs a worker panic the engine recovered
+// into a *topk.PanicError. This is the single counting site for
+// engine-internal panics (classifyQueryError deliberately does not count
+// them again); the stack logged is the worker's own, captured at recovery,
+// pointing at the evaluation that blew up.
+func (s *Server) noteRecoveredPanic(err error) {
+	var pe *topk.PanicError
+	if err == nil || !errors.As(err, &pe) {
 		return
 	}
-	res, err = s.eng.QueryMultiCtx(qctx, tuples, &opts)
-	return
+	s.met.recoveredPanics.Add(1)
+	s.cfg.Logger.Error("recovered worker panic in engine search",
+		"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+}
+
+// isInternalFault matches the 500-class execution failures: the sentinel a
+// panicking flight leader publishes and a recovered worker panic surfaced as
+// a *topk.PanicError.
+func isInternalFault(err error) bool {
+	var pe *topk.PanicError
+	return errors.Is(err, errInternal) || errors.As(err, &pe)
+}
+
+// brownoutActive reports sustained saturation: a standing admission queue at
+// or past the configured depth, or the forced fault point (the deterministic
+// driver for brownout tests).
+func (s *Server) brownoutActive() bool {
+	if fault.Fires(fault.BrownoutForce) {
+		return true
+	}
+	return s.cfg.BrownoutQueue > 0 && s.adm.queueDepth() >= s.cfg.BrownoutQueue
+}
+
+// brownoutClamp applies the degraded search budget: a short candidate list
+// and a hard evaluation cap, so each admitted search finishes in a small,
+// predictable slice of the engine's normal work and the queue drains.
+func brownoutClamp(opts gqbe.Options, cfg Config) gqbe.Options {
+	if opts.KPrime > cfg.BrownoutKPrime {
+		opts.KPrime = cfg.BrownoutKPrime
+	}
+	if opts.K > opts.KPrime {
+		opts.K = opts.KPrime
+	}
+	if opts.MaxEvaluations == 0 || opts.MaxEvaluations > cfg.BrownoutMaxEvaluations {
+		opts.MaxEvaluations = cfg.BrownoutMaxEvaluations
+	}
+	return opts
 }
 
 // writeQueryError maps a query execution error to the API's error
@@ -860,7 +1077,7 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error, res *gqbe.Res
 		detail.Stopped = res.Stats.Stopped
 	}
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, status, errorBody{Error: detail})
 }
@@ -886,9 +1103,11 @@ func (s *Server) classifyQueryError(err error) (int, errorDetail) {
 		// so /statz error rates stay meaningful for alerting.
 		s.met.canceled.Add(1)
 		return http.StatusServiceUnavailable, errorDetail{Code: "canceled", Message: "query canceled"}
-	case errors.Is(err, errInternal):
-		// A server fault (engine panic), not a property of the query: 500,
-		// with the detail kept out of the response.
+	case isInternalFault(err):
+		// A server fault (engine panic — recovered on a search worker or
+		// published by a panicking flight leader), not a property of the
+		// query: 500, with the detail kept out of the response (the
+		// recovery site already logged the stack and counted it).
 		s.met.errored.Add(1)
 		return http.StatusInternalServerError, errorDetail{Code: "internal", Message: "internal server error"}
 	case errors.Is(err, gqbe.ErrUnknownEntity):
@@ -925,11 +1144,13 @@ func toAnswersJSON(res *gqbe.Result) []answerJSON {
 
 func toResponse(res *gqbe.Result, flags answerFlags) queryResponse {
 	return queryResponse{
-		Answers:   toAnswersJSON(res),
-		Stats:     toStatsJSON(res),
-		Cached:    flags.cached,
-		Coalesced: flags.coalesced,
-		Deduped:   flags.deduped,
+		Answers:    toAnswersJSON(res),
+		Stats:      toStatsJSON(res),
+		Cached:     flags.cached,
+		Coalesced:  flags.coalesced,
+		Deduped:    flags.deduped,
+		Stale:      flags.stale,
+		BrownedOut: flags.brownedOut,
 	}
 }
 
@@ -951,7 +1172,7 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "missing or malformed entity name")
 		return
 	}
-	if !s.eng.HasEntity(name) {
+	if !s.engine().eng.HasEntity(name) {
 		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
 		return
 	}
@@ -964,10 +1185,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
+	eg := s.engine()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"entities": s.eng.NumEntities(),
-		"facts":    s.eng.NumFacts(),
+		"status":     "ok",
+		"entities":   eg.eng.NumEntities(),
+		"facts":      eg.eng.NumFacts(),
+		"generation": eg.gen,
 	})
 }
 
@@ -977,17 +1200,18 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	info := s.eng.BuildInfo()
+	eg := s.engine()
+	info := eg.eng.BuildInfo()
 	snap := s.met.snapshot(s.cache, s.adm, statzEngine{
-		Entities:   s.eng.NumEntities(),
-		Facts:      s.eng.NumFacts(),
-		Predicates: s.eng.NumPredicates(),
+		Entities:   eg.eng.NumEntities(),
+		Facts:      eg.eng.NumFacts(),
+		Predicates: eg.eng.NumPredicates(),
 	}, statzBuild{
 		BuildMS:  float64(info.BuildTime) / float64(time.Millisecond),
 		Shards:   info.Shards,
 		Snapshot: info.FromSnapshot,
 	}, statzSearch{
 		Workers: s.cfg.SearchWorkers,
-	})
+	}, fault.Injected(), eg.gen)
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -21,6 +21,11 @@ type flight struct {
 	searchStarted time.Time
 	res           *gqbe.Result
 	err           error
+	// brownedOut records that the leader computed res under the brownout
+	// clamp (reduced k′ / capped evaluations). Written before done closes,
+	// read by followers after: they must label their responses degraded too —
+	// a coalesced answer is the same partial answer.
+	brownedOut bool
 	// waiters counts followers that joined this flight, guarded by the
 	// owning group's mu. Test instrumentation: lets a test block the leader
 	// until every follower has provably joined.

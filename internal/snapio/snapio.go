@@ -23,6 +23,8 @@ import (
 	"hash/crc32"
 	"io"
 	"strings"
+
+	"gqbe/internal/fault"
 )
 
 // Typed snapshot errors; test with errors.Is. ErrBadMagic, ErrVersion and
@@ -88,6 +90,10 @@ func (w *Writer) Sum32() uint32 { return w.crc.Sum32() }
 
 func (w *Writer) write(p []byte) {
 	if w.err != nil {
+		return
+	}
+	if err := fault.Check(fault.SnapioWriteErr); err != nil {
+		w.err = fmt.Errorf("snapshot: write: %w", err)
 		return
 	}
 	if _, err := w.w.Write(p); err != nil {
@@ -275,6 +281,14 @@ func (r *Reader) readFull(p []byte) bool {
 	if r.err != nil {
 		return false
 	}
+	if err := fault.Check(fault.SnapioReadErr); err != nil {
+		r.fail(fmt.Errorf("snapshot: read: %w", err))
+		return false
+	}
+	if fault.Fires(fault.SnapioReadTruncate) {
+		r.fail(ErrTruncated)
+		return false
+	}
 	if _, err := io.ReadFull(r.r, p); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			r.fail(ErrTruncated)
@@ -282,6 +296,12 @@ func (r *Reader) readFull(p []byte) bool {
 			r.fail(fmt.Errorf("snapshot: read: %w", err))
 		}
 		return false
+	}
+	if len(p) > 0 && fault.Fires(fault.SnapioReadFlip) {
+		// Flip before hashing: the running CRC sees the damage while the
+		// recorded trailer does not, so the checksum check must trip (or a
+		// structural sanity check, whichever the flipped byte hits first).
+		p[0] ^= 0x01
 	}
 	r.crc.Write(p)
 	return true

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gqbe/internal/fault"
 	"gqbe/internal/graph"
 )
 
@@ -265,7 +266,14 @@ func offsets(base, maxID graph.NodeID, rows []Pair, key func(Pair) graph.NodeID)
 
 // Table returns the table for label l; ok is false when the label has no
 // edges (or is out of range).
+//
+// The probe layer has no error channel, so its injection point is a panic
+// (fault.StorageTablePanic): the one fault shape a broken index could
+// actually produce, and the one the serving layer must isolate. A silent
+// wrong answer (e.g. a missing table) is deliberately not injectable —
+// degradation must never mean serving unlabeled wrong results.
 func (s *Store) Table(l graph.LabelID) (*Table, bool) {
+	fault.PanicIf(fault.StorageTablePanic)
 	if int(l) < 0 || int(l) >= len(s.tables) {
 		return nil, false
 	}

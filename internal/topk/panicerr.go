@@ -1,0 +1,44 @@
+package topk
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"gqbe/internal/exec"
+	"gqbe/internal/lattice"
+)
+
+// PanicError is a panic recovered from a parallel search worker, carried
+// through the result channel as an ordinary error. A panicking evaluation on
+// a worker goroutine would otherwise kill the whole process — the handler's
+// recover only shields its own goroutine — so the worker converts it here
+// and the serving layer classifies it like any other internal error (500,
+// request ID logged, recovery counter bumped). The captured stack is the
+// worker's, pointing at the evaluation that blew up rather than at the
+// coordinator that reported it.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error formats the recovered value; the stack is available separately so
+// log sinks can choose whether to emit it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("topk: panic during node evaluation: %v", e.Value)
+}
+
+// safeEvaluate runs one lattice-node evaluation, converting a panic into a
+// *PanicError result. Only consumed results can surface it (see runParallel):
+// a speculative evaluation the sequential search would never perform cannot
+// fail — or panic — a parallel search, which preserves the bit-identical
+// parallel/sequential oracle.
+func safeEvaluate(ev *exec.Evaluator, q lattice.EdgeSet) (rows *exec.Rows, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rows, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return ev.Evaluate(q)
+}

@@ -49,10 +49,11 @@ type evalResult struct {
 }
 
 // runParallel runs the Alg. 2 loop with `workers` concurrent lattice-node
-// evaluators feeding it. Errors from speculative evaluations surface only if
-// their node is actually consumed — a node the sequential search would never
-// evaluate cannot fail a parallel search (cancellation excepted: the loop's
-// own ctx check aborts everything).
+// evaluators feeding it. Errors from speculative evaluations — including
+// panics, which workers recover into *PanicError (see safeEvaluate) — surface
+// only if their node is actually consumed: a node the sequential search would
+// never evaluate cannot fail a parallel search (cancellation excepted: the
+// loop's own ctx check aborts everything).
 func (s *searcher) runParallel(workers int) (*Result, error) {
 	// Buffers are sized so nothing ever blocks the wrong side: at most
 	// `workers` jobs are outstanding (dispatch is capped on in-flight count),
@@ -73,7 +74,7 @@ func (s *searcher) runParallel(workers int) (*Result, error) {
 					//gqbelint:ignore determinism trace-only timing: workers measure, the coordinator records in pop order
 					start = time.Now()
 				}
-				rows, err := wev.Evaluate(q)
+				rows, err := safeEvaluate(wev, q)
 				var dur time.Duration
 				if traced {
 					//gqbelint:ignore determinism trace-only timing: workers measure, the coordinator records in pop order
