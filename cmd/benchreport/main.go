@@ -1,18 +1,33 @@
 // Command benchreport renders a benchstat-style regression table comparing
 // a `go test -bench` run against the checked-in baseline shapes in
-// BENCH_engine.json. CI runs it on every PR (non-blocking, output appended
-// to the job summary) so perf drift is visible without gating merges on
-// noisy 1-iteration numbers.
+// BENCH_engine.json, and optionally enforces a small set of SLO
+// constraints. CI runs the table on every PR so perf drift is visible, and
+// gates merges on the -slo constraints only — a handful of
+// deliberately-loose bounds on the benchmarks that matter, instead of a
+// noisy threshold across all of them.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./internal/... | benchreport -baseline BENCH_engine.json
+//	... | benchreport -slo 'SearchF1<=+10%,SnapshotLoadMapped<=0.25*ParseBuild'
 //
 // The baseline JSON is the repo's bench-trajectory format: a "results"
 // object of sections, each mapping benchmark names to either a plain
 // {"ns_op": ...} record or a {"before": ..., "after": ...} pair (the
-// "after" shape is the baseline). The tool always exits 0: it is a report,
-// not a gate — regressions are flagged in the table with ⚠.
+// "after" shape is the baseline).
+//
+// SLO constraints come in two forms, comma-separated:
+//
+//	Name<=+P%      current ns/op at most P percent above Name's baseline
+//	Name<=F*Other  current ns/op at most F times Other's CURRENT ns/op
+//
+// The ratio form compares two benchmarks from the same run, so it is
+// machine-speed independent — the right shape for structural guarantees
+// like "the mapped snapshot open costs at most a quarter of a cold parse".
+// A benchmark missing from the run (or, for the %-form, the baseline) fails
+// its constraint: an SLO that silently stopped being measured is not met.
+// Without -slo the tool always exits 0 (report, not gate); with -slo it
+// exits 1 when any constraint fails.
 package main
 
 import (
@@ -141,13 +156,121 @@ func report(w io.Writer, lines []benchLine, baseline map[string]float64, thresho
 	return regressions
 }
 
+// sloConstraint is one parsed -slo entry.
+type sloConstraint struct {
+	name string // benchmark under constraint
+	// Exactly one of the two bounds is active:
+	pctOver float64 // "<=+P%": max percent over baseline (relative form)
+	other   string  // "<=F*Other": compare against this benchmark's current ns/op
+	factor  float64 // the F in "<=F*Other"
+	isRatio bool
+}
+
+var (
+	sloPctRe   = regexp.MustCompile(`^(\S+?)<=\+([0-9.]+)%$`)
+	sloRatioRe = regexp.MustCompile(`^(\S+?)<=([0-9.]+)\*(\S+)$`)
+)
+
+// parseSLO parses a comma-separated constraint list.
+func parseSLO(spec string) ([]sloConstraint, error) {
+	var out []sloConstraint
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if m := sloPctRe.FindStringSubmatch(part); m != nil {
+			pct, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("slo %q: %w", part, err)
+			}
+			out = append(out, sloConstraint{name: m[1], pctOver: pct})
+			continue
+		}
+		if m := sloRatioRe.FindStringSubmatch(part); m != nil {
+			f, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("slo %q: %w", part, err)
+			}
+			out = append(out, sloConstraint{name: m[1], other: m[3], factor: f, isRatio: true})
+			continue
+		}
+		return nil, fmt.Errorf("slo %q: want Name<=+P%% or Name<=F*Other", part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("slo %q: no constraints", spec)
+	}
+	return out, nil
+}
+
+// checkSLO evaluates constraints against the run and baseline, printing one
+// verdict line each, and returns the number of failures.
+func checkSLO(w io.Writer, cons []sloConstraint, lines []benchLine, baseline map[string]float64) int {
+	current := make(map[string]float64, len(lines))
+	for _, l := range lines {
+		current[l.Name] = l.NsOp
+	}
+	failures := 0
+	for _, c := range cons {
+		cur, ok := current[c.name]
+		if !ok {
+			fmt.Fprintf(w, "SLO FAIL: %s not present in this bench run\n", c.name)
+			failures++
+			continue
+		}
+		if c.isRatio {
+			ref, ok := current[c.other]
+			if !ok {
+				fmt.Fprintf(w, "SLO FAIL: %s not present in this bench run (needed by %s<=%g*%s)\n",
+					c.other, c.name, c.factor, c.other)
+				failures++
+				continue
+			}
+			limit := c.factor * ref
+			verdict := "PASS"
+			if cur > limit {
+				verdict = "FAIL"
+				failures++
+			}
+			fmt.Fprintf(w, "SLO %s: %s<=%g*%s — %.0f ns/op vs limit %.0f (%s = %.0f)\n",
+				verdict, c.name, c.factor, c.other, cur, limit, c.other, ref)
+			continue
+		}
+		base, ok := baseline[c.name]
+		if !ok || base <= 0 {
+			fmt.Fprintf(w, "SLO FAIL: %s has no baseline entry\n", c.name)
+			failures++
+			continue
+		}
+		limit := base * (1 + c.pctOver/100)
+		verdict := "PASS"
+		if cur > limit {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "SLO %s: %s<=+%g%% — %.0f ns/op vs limit %.0f (baseline %.0f, %+.1f%%)\n",
+			verdict, c.name, c.pctOver, cur, limit, base, (cur-base)/base*100)
+	}
+	return failures
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_engine.json", "baseline JSON (repo bench-trajectory format)")
 		inputPath    = flag.String("input", "-", "bench output file ('-' = stdin)")
 		threshold    = flag.Float64("threshold", 1.30, "flag current > threshold × baseline")
+		sloSpec      = flag.String("slo", "", "blocking constraints, e.g. 'SearchF1<=+10%,SnapshotLoadMapped<=0.25*ParseBuild' (exit 1 on violation)")
 	)
 	flag.Parse()
+
+	var slos []sloConstraint
+	if *sloSpec != "" {
+		var err error
+		if slos, err = parseSLO(*sloSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	baseline, err := loadBaseline(*baselinePath)
 	if err != nil {
@@ -173,6 +296,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines in input")
 		os.Exit(2)
 	}
-	// Report only: regressions never fail the run (1x numbers are noisy).
+	// The table never fails the run (1x numbers are noisy across the board);
+	// only the explicit SLO constraints gate.
 	report(os.Stdout, lines, baseline, *threshold)
+	if len(slos) > 0 {
+		fmt.Println()
+		if failures := checkSLO(os.Stdout, slos, lines, baseline); failures > 0 {
+			fmt.Printf("\n**%d SLO constraint(s) violated.**\n", failures)
+			os.Exit(1)
+		}
+	}
 }

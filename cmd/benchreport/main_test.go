@@ -109,6 +109,64 @@ func TestLoadBaselineAndReport(t *testing.T) {
 	}
 }
 
+func TestParseSLO(t *testing.T) {
+	cons, err := parseSLO("SearchF1<=+10%, SnapshotLoadMapped<=0.25*ParseBuild")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("parsed %d constraints, want 2", len(cons))
+	}
+	if c := cons[0]; c.isRatio || c.name != "SearchF1" || c.pctOver != 10 {
+		t.Errorf("pct constraint = %+v", c)
+	}
+	if c := cons[1]; !c.isRatio || c.name != "SnapshotLoadMapped" || c.other != "ParseBuild" || c.factor != 0.25 {
+		t.Errorf("ratio constraint = %+v", c)
+	}
+	for _, bad := range []string{"", "SearchF1<=10%", "SearchF1>=+10%", "A<=B*C", "A<=+x%"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckSLO(t *testing.T) {
+	lines := []benchLine{
+		{Name: "SearchF1", NsOp: 1050},
+		{Name: "SearchF18", NsOp: 2500},
+		{Name: "SnapshotLoadMapped", NsOp: 20},
+		{Name: "ParseBuild", NsOp: 100},
+	}
+	baseline := map[string]float64{"SearchF1": 1000, "SearchF18": 2000}
+	check := func(spec string, wantFails int, wantOut ...string) {
+		t.Helper()
+		cons, err := parseSLO(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if got := checkSLO(&buf, cons, lines, baseline); got != wantFails {
+			t.Errorf("%s: failures = %d, want %d\n%s", spec, got, wantFails, buf.String())
+		}
+		for _, w := range wantOut {
+			if !strings.Contains(buf.String(), w) {
+				t.Errorf("%s: output missing %q:\n%s", spec, w, buf.String())
+			}
+		}
+	}
+	// +5% over baseline passes a 10% bound, +25% fails it.
+	check("SearchF1<=+10%", 0, "SLO PASS")
+	check("SearchF18<=+10%", 1, "SLO FAIL")
+	// 20 vs 0.25×100=25 passes; 0.1×100=10 fails.
+	check("SnapshotLoadMapped<=0.25*ParseBuild", 0, "SLO PASS")
+	check("SnapshotLoadMapped<=0.1*ParseBuild", 1, "SLO FAIL")
+	// Missing benchmarks and baselines fail rather than silently pass.
+	check("Absent<=+10%", 1, "not present")
+	check("SearchF1<=1.0*Absent", 1, "not present")
+	check("ParseBuild<=+10%", 1, "no baseline entry")
+	check("SearchF1<=+10%,SearchF18<=+10%,SnapshotLoadMapped<=0.25*ParseBuild", 1)
+}
+
 func TestRealBaselineParses(t *testing.T) {
 	// The tool must understand the repo's actual BENCH_engine.json.
 	baseline, err := loadBaseline("../../BENCH_engine.json")

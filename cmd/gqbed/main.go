@@ -5,7 +5,7 @@
 // Usage:
 //
 //	gqbed -graph kg.tsv [-addr :8080] [-max-concurrent 8] [-cache-entries 1024]
-//	      [-build-shards 0] [-snapshot kg.snap] [-snapshot-write]
+//	      [-build-shards 0] [-snapshot kg.snap] [-snapshot-write] [-snapshot-mmap]
 //	      [-search-workers 1] [-trace] [-slow-query-ms 0]
 //
 // The complete flag reference and the /statz field glossary live in
@@ -16,6 +16,11 @@
 // no triple parsing or index construction); otherwise it parses -graph and
 // builds the store across -build-shards workers (0 = GOMAXPROCS), and with
 // -snapshot-write also saves the result to -snapshot for the next restart.
+// -snapshot-mmap opens the snapshot memory-mapped zero-copy instead: the
+// engine's columns borrow the mapping, startup is O(sections), and the data
+// pages are shared with the OS page cache across processes; /statz reports
+// mapped: true with the mapping size. Mapping failures degrade to the heap
+// loader, then to the -graph rebuild.
 //
 // Endpoints:
 //
@@ -87,6 +92,7 @@ func main() {
 		buildShards   = flag.Int("build-shards", 0, "concurrent workers for the offline store build (0 = GOMAXPROCS, 1 = sequential)")
 		snapshotPath  = flag.String("snapshot", "", "binary engine snapshot path: loaded instead of -graph when it exists")
 		snapshotWrite = flag.Bool("snapshot-write", false, "after building from -graph, write the engine snapshot to -snapshot")
+		snapshotMmap  = flag.Bool("snapshot-mmap", false, "open -snapshot memory-mapped zero-copy (O(sections) startup, pages shared with the page cache) instead of decoding it onto the heap; falls back to the heap loader, then -graph, if mapping fails")
 
 		faultSpec    = flag.String("fault", "", "fault-injection spec, e.g. 'exec.eval.panic:p=0.01,seed=7;snapio.read.flip:every=100' (testing/chaos only; empty disables)")
 		staleServe   = flag.Bool("stale-serve", false, "serve retained cache entries (labeled stale, with an Age header) when live computation fails with a server-side error")
@@ -118,7 +124,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng, err := loadEngine(*graphPath, *snapshotPath, *buildShards, *snapshotWrite)
+	eng, err := loadEngine(*graphPath, *snapshotPath, *buildShards, *snapshotWrite, *snapshotMmap)
 	if err != nil {
 		log.Fatalf("gqbed: %v", err)
 	}
@@ -126,6 +132,9 @@ func main() {
 	how := fmt.Sprintf("built (%d shards)", info.Shards)
 	if info.FromSnapshot {
 		how = "snapshot-loaded"
+	}
+	if info.Mapped {
+		how = fmt.Sprintf("snapshot-mapped (%d bytes zero-copy)", info.MappedBytes)
 	}
 	log.Printf("gqbed: %d entities, %d facts, %d predicates %s in %v",
 		eng.NumEntities(), eng.NumFacts(), eng.NumPredicates(), how, info.BuildTime.Round(time.Millisecond))
@@ -158,7 +167,7 @@ func main() {
 		// without a restart. A corrupt candidate is rejected by the loader
 		// and the serving engine stays untouched.
 		Reload: func() (*gqbe.Engine, error) {
-			return loadEngine(*graphPath, *snapshotPath, *buildShards, false)
+			return loadEngine(*graphPath, *snapshotPath, *buildShards, false, *snapshotMmap)
 		},
 		StaleServe:             *staleServe,
 		StaleTTL:               *staleTTL,
@@ -251,9 +260,21 @@ func main() {
 // the result optionally snapshotted for the next restart. A corrupt or
 // version-skewed snapshot falls back to the graph build (and, with
 // -snapshot-write, replaces the bad file) instead of refusing to start.
-func loadEngine(graphPath, snapshotPath string, buildShards int, snapshotWrite bool) (*gqbe.Engine, error) {
+// With mmapOpen the snapshot is memory-mapped zero-copy first; a map
+// failure (unsupported platform, injected fault) degrades to the heap
+// loader before the graph rebuild, so the flag can never make a startable
+// daemon unstartable.
+func loadEngine(graphPath, snapshotPath string, buildShards int, snapshotWrite, mmapOpen bool) (*gqbe.Engine, error) {
 	if snapshotPath != "" {
 		if _, err := os.Stat(snapshotPath); err == nil {
+			if mmapOpen {
+				log.Printf("gqbed: mapping snapshot %s", snapshotPath)
+				eng, err := gqbe.OpenSnapshotMapped(snapshotPath)
+				if err == nil {
+					return eng, nil
+				}
+				log.Printf("gqbed: snapshot map failed (%v); falling back to heap load", err)
+			}
 			log.Printf("gqbed: loading snapshot %s", snapshotPath)
 			eng, err := gqbe.LoadSnapshotFile(snapshotPath)
 			if err == nil {

@@ -1,0 +1,114 @@
+// Command snapbench measures the three engine startup paths — cold TSV
+// parse+build, heap snapshot load, and zero-copy mapped snapshot open — as a
+// real process, reporting wall time and resident set size in a
+// machine-parseable line. The CI bench-scale job runs it against a 10×
+// synthetic graph and asserts the structural claims the mapped path makes:
+// it must be faster than the heap load and must keep less of the snapshot
+// resident.
+//
+// Usage:
+//
+//	snapbench -mode build -graph kg.tsv -snapshot kg.snap
+//	snapbench -mode heap -snapshot kg.snap -tuple 'Jerry Yang,Yahoo!'
+//	snapbench -mode mmap -snapshot kg.snap -tuple 'Jerry Yang,Yahoo!'
+//
+// Output is one line of key=value pairs:
+//
+//	mode=mmap load_ms=3.18 vm_rss_kb=24196 entities=88046 facts=156292 mapped=true answers=10
+//
+// vm_rss_kb is VmRSS from /proc/self/status after a debug.FreeOSMemory
+// pass (so Go-heap garbage from the load doesn't inflate the comparison);
+// 0 on platforms without procfs. answers appears only when -tuple ran a
+// query — which also proves the chosen path serves real traffic, not just
+// opens.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"gqbe"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "", "build | heap | mmap (required)")
+		graph    = flag.String("graph", "", "triples TSV (build mode)")
+		snapshot = flag.String("snapshot", "", "snapshot path (required)")
+		tuple    = flag.String("tuple", "", "comma-separated entity tuple to query after loading")
+		k        = flag.Int("k", 10, "answers to request with -tuple")
+	)
+	flag.Parse()
+	if *snapshot == "" || *mode == "" {
+		fmt.Fprintln(os.Stderr, "snapbench: -mode and -snapshot are required")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var (
+		eng *gqbe.Engine
+		err error
+	)
+	switch *mode {
+	case "build":
+		if *graph == "" {
+			fmt.Fprintln(os.Stderr, "snapbench: build mode requires -graph")
+			os.Exit(2)
+		}
+		if eng, err = gqbe.LoadFile(*graph); err == nil {
+			err = eng.WriteSnapshotFile(*snapshot)
+		}
+	case "heap":
+		eng, err = gqbe.LoadSnapshotFile(*snapshot)
+	case "mmap":
+		eng, err = gqbe.OpenSnapshotMapped(*snapshot)
+	default:
+		fmt.Fprintf(os.Stderr, "snapbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: %v\n", err)
+		os.Exit(1)
+	}
+	loadMS := float64(time.Since(start).Microseconds()) / 1000
+
+	answers := -1
+	if *tuple != "" {
+		res, err := eng.Query(strings.Split(*tuple, ","), &gqbe.Options{K: *k})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: query: %v\n", err)
+			os.Exit(1)
+		}
+		answers = len(res.Answers)
+	}
+
+	// Return freed Go heap to the OS before sampling so RSS reflects what
+	// the loaded engine actually keeps resident, not transient load garbage.
+	debug.FreeOSMemory()
+	fmt.Printf("mode=%s load_ms=%.2f vm_rss_kb=%d entities=%d facts=%d mapped=%v",
+		*mode, loadMS, vmRSSKB(), eng.NumEntities(), eng.NumFacts(), eng.Mapped())
+	if answers >= 0 {
+		fmt.Printf(" answers=%d", answers)
+	}
+	fmt.Println()
+}
+
+// vmRSSKB reads VmRSS from /proc/self/status; 0 where procfs is absent.
+func vmRSSKB() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			kb, _ := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			return kb
+		}
+	}
+	return 0
+}

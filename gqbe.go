@@ -217,6 +217,50 @@ func LoadSnapshotFile(path string) (*Engine, error) {
 	return &Engine{eng: eng}, nil
 }
 
+// OpenSnapshotMapped restores a preprocessed engine by memory-mapping the
+// snapshot file instead of decoding it onto the heap: the graph's name blob
+// and every index column become zero-copy views of the mapping. Opening is
+// O(sections) — on large graphs typically an order of magnitude faster than
+// LoadSnapshotFile and dramatically faster than re-parsing triples — and the
+// data pages are shared with the OS page cache, so multiple processes
+// serving the same snapshot pay its memory cost once.
+//
+// Integrity matches LoadSnapshotFile: the file's CRC-32C trailer is
+// verified before the engine is returned, and corruption fails with a typed
+// error, never a panic. On platforms without mmap support the open fails
+// (callers fall back to LoadSnapshotFile).
+//
+// A mapped engine holds the file mapping until Close. Answers and traced
+// MQG renderings are safe to retain after Close — strings that would alias
+// the mapping are cloned at the API boundary.
+func OpenSnapshotMapped(path string) (*Engine, error) {
+	eng, err := core.OpenSnapshotMapped(path)
+	if err != nil {
+		return nil, fmt.Errorf("gqbe: %w", err)
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Close releases the snapshot mapping backing an engine from
+// OpenSnapshotMapped; for heap-built engines it is a no-op. Idempotent.
+// After Close the engine must not serve queries — every borrowed column
+// dangles. Callers that hot-swap engines must drain in-flight queries on
+// the old engine first (the bundled server does this with per-generation
+// reference counts).
+func (e *Engine) Close() error {
+	if err := e.eng.Close(); err != nil {
+		return fmt.Errorf("gqbe: %w", err)
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called on this engine.
+func (e *Engine) Closed() bool { return e.eng.Closed() }
+
+// Mapped reports whether this engine borrows a live snapshot mapping
+// (OpenSnapshotMapped) rather than owning heap-decoded state.
+func (e *Engine) Mapped() bool { return e.eng.Mapped() }
+
 // WriteSnapshotFile serializes the engine's preprocessed state (graph and
 // indexed store) to path as a versioned, checksummed binary snapshot,
 // written atomically (temp file + rename). Regenerate the snapshot whenever
@@ -257,12 +301,23 @@ type BuildInfo struct {
 	// FromSnapshot reports whether the engine was restored from a binary
 	// snapshot rather than built from triples.
 	FromSnapshot bool
+	// Mapped reports whether the snapshot is memory-mapped zero-copy
+	// (OpenSnapshotMapped) rather than decoded onto the heap.
+	Mapped bool
+	// MappedBytes is the size of the snapshot mapping when Mapped, else 0.
+	MappedBytes int64
 }
 
 // BuildInfo reports how this engine's offline preprocessing ran.
 func (e *Engine) BuildInfo() BuildInfo {
 	info := e.eng.Info()
-	return BuildInfo{BuildTime: info.Duration, Shards: info.Shards, FromSnapshot: info.FromSnapshot}
+	return BuildInfo{
+		BuildTime:    info.Duration,
+		Shards:       info.Shards,
+		FromSnapshot: info.FromSnapshot,
+		Mapped:       info.Mapped,
+		MappedBytes:  info.MappedBytes,
+	}
 }
 
 // Builder assembles a knowledge graph triple by triple, for programmatic

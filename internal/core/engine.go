@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"gqbe/internal/graph"
@@ -18,6 +19,7 @@ import (
 	"gqbe/internal/mqg"
 	"gqbe/internal/neighborhood"
 	"gqbe/internal/obs"
+	"gqbe/internal/snapio"
 	"gqbe/internal/stats"
 	"gqbe/internal/storage"
 	"gqbe/internal/topk"
@@ -130,6 +132,11 @@ type BuildInfo struct {
 	// FromSnapshot reports whether the engine came from a binary snapshot
 	// instead of parsing triples and building indexes.
 	FromSnapshot bool
+	// Mapped reports whether the snapshot is memory-mapped (zero-copy
+	// columns borrowing the mapping) rather than decoded onto the heap.
+	Mapped bool
+	// MappedBytes is the size of the mapping when Mapped, else 0.
+	MappedBytes int64
 }
 
 // Engine holds the immutable per-graph state. Building it performs the
@@ -140,6 +147,10 @@ type Engine struct {
 	store *storage.Store
 	stats *stats.Stats
 	info  BuildInfo
+	// m is the snapshot mapping this engine borrows its columns from
+	// (OpenSnapshotMapped), nil for heap-built engines.
+	m      *snapio.Map
+	closed bool
 }
 
 // NewEngine preprocesses g sequentially.
@@ -175,6 +186,31 @@ func NewEngineOpts(g *graph.Graph, opts BuildOptions) *Engine {
 
 // Info reports how the engine's offline phase ran.
 func (e *Engine) Info() BuildInfo { return e.info }
+
+// Mapped reports whether the engine borrows a live snapshot mapping.
+func (e *Engine) Mapped() bool { return e.m != nil }
+
+// Closed reports whether Close has run.
+func (e *Engine) Closed() bool { return e.closed }
+
+// Close releases the snapshot mapping backing a mapped engine (no-op for
+// heap engines). Idempotent. The caller must guarantee no query is in
+// flight: after Close every borrowed column and name string dangles, and
+// touching one faults. The server's generation refcounting (internal/server)
+// delays this call until the last in-flight request on the old generation
+// drains.
+func (e *Engine) Close() error {
+	if e == nil || e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.m == nil {
+		return nil
+	}
+	m := e.m
+	e.m = nil
+	return m.Close()
+}
 
 // SetBuildDuration widens the recorded offline-phase duration to d — for
 // loaders whose work starts before NewEngineOpts (parsing triples,
@@ -333,11 +369,19 @@ func (e *Engine) searchMQG(ctx context.Context, m *mqg.MQG, exclude [][]graph.No
 	return res, nil
 }
 
-// AnswerNames renders an answer tuple as entity names.
+// AnswerNames renders an answer tuple as entity names. For mapped engines
+// the graph's name strings alias the snapshot mapping, so they are cloned
+// here: answers routinely outlive the request (HTTP encoding, caches), and
+// a hot reload may unmap the old generation in between.
 func (e *Engine) AnswerNames(a topk.Answer) []string {
+	borrowed := e.g.Borrowed()
 	out := make([]string, len(a.Tuple))
 	for i, v := range a.Tuple {
-		out[i] = e.g.Name(v)
+		name := e.g.Name(v)
+		if borrowed {
+			name = strings.Clone(name)
+		}
+		out[i] = name
 	}
 	return out
 }

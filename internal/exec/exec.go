@@ -458,30 +458,31 @@ func (ev *Evaluator) scanEdge(i int) (*Rows, error) {
 	if !ok {
 		return ev.newRows(0), nil // label with no edges: no answers
 	}
-	pairs := t.Pairs()
-	if len(pairs) > ev.maxRows {
+	subj, obj := t.PairCols()
+	if len(subj) > ev.maxRows {
 		//gqbelint:ignore hotalloc cold error path: the row-budget abort runs at most once per evaluation
-		return nil, fmt.Errorf("%w: base scan of %d rows", ErrTooManyRows, len(pairs))
+		return nil, fmt.Errorf("%w: base scan of %d rows", ErrTooManyRows, len(subj))
 	}
-	out := ev.newRows(len(pairs))
-	for n, p := range pairs {
+	out := ev.newRows(len(subj))
+	for n, s := range subj {
 		if n%cancelCheckInterval == 0 {
 			if err := ev.ctxErr(); err != nil {
 				return nil, err
 			}
 		}
+		o := obj[n]
 		if ss == ds {
 			// self-loop query edge: subject and object must coincide
-			if p.Subj != p.Obj {
+			if s != o {
 				continue
 			}
-		} else if p.Subj == p.Obj {
+		} else if s == o {
 			continue // injectivity: two distinct query nodes, one data node
 		}
 		base := len(out.data)
 		out.data = append(out.data, ev.unboundRow...)
-		out.data[base+ss] = p.Subj
-		out.data[base+ds] = p.Obj
+		out.data[base+ss] = s
+		out.data[base+ds] = o
 	}
 	return out, nil
 }
@@ -557,17 +558,19 @@ func (ev *Evaluator) joinEdge(rows *Rows, i int) (*Rows, error) {
 			// Both endpoints unbound: cartesian extension. Valid parents
 			// always share a node with their child, so this only occurs for
 			// hand-built edge sets; support it for completeness.
-			for _, p := range t.Pairs() {
-				if ev.conflicts(row, p.Subj) || ev.conflicts(row, p.Obj) {
+			subj, obj := t.PairCols()
+			for k, s := range subj {
+				o := obj[k]
+				if ev.conflicts(row, s) || ev.conflicts(row, o) {
 					continue
 				}
-				if ss != ds && p.Subj == p.Obj {
+				if ss != ds && s == o {
 					continue
 				}
-				if err := push(row, ss, p.Subj); err != nil {
+				if err := push(row, ss, s); err != nil {
 					return nil, err
 				}
-				out.data[len(out.data)-stride+ds] = p.Obj
+				out.data[len(out.data)-stride+ds] = o
 			}
 		}
 	}

@@ -78,6 +78,14 @@ const (
 	// saturation, engaging the k′/max-evaluations clamp regardless of real
 	// queue depth — the deterministic driver for brownout tests.
 	BrownoutForce
+	// SnapioMapErr fails a snapshot mmap open before the file is mapped —
+	// the -snapshot-mmap path must fall back to the heap loader (or a graph
+	// rebuild) instead of dying.
+	SnapioMapErr
+	// SnapioMadviseErr fails the madvise(WILLNEED) prefetch hint after a
+	// successful map. The hint is advisory: the open must proceed, merely
+	// forfeiting readahead.
+	SnapioMadviseErr
 
 	// NumPoints is the number of injection points; it must stay last.
 	NumPoints
@@ -96,6 +104,8 @@ var pointNames = [NumPoints]string{
 	AdmissionFull:      "server.admission.full",
 	CacheMiss:          "server.cache.miss",
 	BrownoutForce:      "server.brownout.force",
+	SnapioMapErr:       "snapio.map.err",
+	SnapioMadviseErr:   "snapio.map.advise",
 }
 
 // Name returns p's stable spec name.

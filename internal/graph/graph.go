@@ -8,6 +8,13 @@
 // A SubGraph is a small edge list referencing data-graph node IDs; the
 // neighborhood graph, maximal query graph, and every query graph in the
 // lattice are SubGraphs.
+//
+// Adjacency has two physical forms behind one access API (Arcs views).
+// Graphs built edge by edge keep per-node tandem label/node columns; graphs
+// loaded from a snapshot keep one flat CSR per direction — an offset table
+// over two big columns, which may be zero-copy views of an mmap'd snapshot
+// (Borrowed). The first mutation of a frozen graph thaws it back to the
+// per-node form; serving paths never mutate, so they never pay for that.
 package graph
 
 import (
@@ -39,17 +46,119 @@ type Arc struct {
 	Node  NodeID
 }
 
+// Arcs is one node's adjacency in one direction, as two parallel columns:
+// Labels[i] and Nodes[i] together are the i-th arc. The columns are owned by
+// the graph (possibly by a read-only snapshot mapping) and must not be
+// modified.
+type Arcs struct {
+	Labels []LabelID
+	Nodes  []NodeID
+}
+
+// Len returns the number of arcs.
+func (a Arcs) Len() int { return len(a.Nodes) }
+
+// At returns the i-th arc as a struct.
+func (a Arcs) At(i int) Arc { return Arc{Label: a.Labels[i], Node: a.Nodes[i]} }
+
+// adjacency is one direction's arc storage, in exactly one of two forms:
+//
+//   - mutable: per-node tandem columns labels[v]/nodes[v] (off == nil);
+//   - frozen CSR: off (numNodes+1 prefix sums) over flat lab/dst columns,
+//     which a mapped snapshot load borrows instead of copying.
+type adjacency struct {
+	labels [][]LabelID
+	nodes  [][]NodeID
+
+	off []int32
+	lab []LabelID
+	dst []NodeID
+}
+
+// frozen reports whether the CSR form is active.
+func (a *adjacency) frozen() bool { return a.off != nil }
+
+// arcs returns v's adjacency view in either form.
+func (a *adjacency) arcs(v NodeID) Arcs {
+	if a.off != nil {
+		lo, hi := a.off[v], a.off[v+1]
+		return Arcs{Labels: a.lab[lo:hi:hi], Nodes: a.dst[lo:hi:hi]}
+	}
+	return Arcs{Labels: a.labels[v], Nodes: a.nodes[v]}
+}
+
+// degree returns v's arc count without materializing a view.
+func (a *adjacency) degree(v NodeID) int {
+	if a.off != nil {
+		return int(a.off[v+1] - a.off[v])
+	}
+	return len(a.nodes[v])
+}
+
+// addNode appends an empty adjacency list (mutable form only).
+func (a *adjacency) addNode() {
+	a.labels = append(a.labels, nil)
+	a.nodes = append(a.nodes, nil)
+}
+
+// add appends one arc to v (mutable form only).
+func (a *adjacency) add(v NodeID, l LabelID, n NodeID) {
+	a.labels[v] = append(a.labels[v], l)
+	a.nodes[v] = append(a.nodes[v], n)
+}
+
+// thaw converts the CSR form back to per-node columns, copying any borrowed
+// memory into owned heap slices so mutation never writes (or keeps pointers)
+// into a read-only mapping.
+func (a *adjacency) thaw() {
+	if a.off == nil {
+		return
+	}
+	n := len(a.off) - 1
+	a.labels = make([][]LabelID, n)
+	a.nodes = make([][]NodeID, n)
+	for v := 0; v < n; v++ {
+		lo, hi := a.off[v], a.off[v+1]
+		if lo == hi {
+			continue
+		}
+		a.labels[v] = append([]LabelID(nil), a.lab[lo:hi]...)
+		a.nodes[v] = append([]NodeID(nil), a.dst[lo:hi]...)
+	}
+	a.off, a.lab, a.dst = nil, nil, nil
+}
+
 // Graph is a directed labeled multigraph with interned node names and edge
 // labels. It is not safe for concurrent mutation; once loaded it is safe for
 // concurrent reads.
 type Graph struct {
-	names       []string
-	byName      map[string]NodeID
+	names []string
+	// nameOff/nameBlob are the on-disk string-table form a borrowed snapshot
+	// load keeps instead of names: count+1 cumulative offsets over one blob,
+	// both views of the mapping. Name slices entries out lazily, so a mapped
+	// open allocates nothing per node; materializeNames converts to names
+	// ahead of any mutation. Exactly one of (names, nameOff) is in use.
+	nameOff  []int32
+	nameBlob string
+	// byName is the name→ID index. Built incrementally by AddNode on the
+	// builder path; snapshot loads leave it nil and nameIndex builds it on
+	// first use — a mapped open must not pay O(numNodes) hashing up front.
+	byName   map[string]NodeID
+	nameOnce sync.Once
+
 	labels      []string
 	labelByName map[string]LabelID
 
-	out [][]Arc
-	in  [][]Arc
+	out adjacency
+	in  adjacency
+
+	// borrowed marks adjacency columns and name blobs as views of a
+	// read-only snapshot mapping: the graph must not outlive the mapping,
+	// and anything that escapes the engine (result names) must be cloned.
+	borrowed bool
+	// adjStart/adjEnd delimit the adjacency columns' byte range within the
+	// snapshot the graph was read from — the madvise(WILLNEED) hint range.
+	adjStart, adjEnd int64
 
 	numEdges int
 	// edges is the dedup set AddEdgeIDs consults. Snapshot-loaded graphs
@@ -70,7 +179,12 @@ func New() *Graph {
 }
 
 // NumNodes reports the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.names) }
+func (g *Graph) NumNodes() int {
+	if g.nameOff != nil {
+		return len(g.nameOff) - 1
+	}
+	return len(g.names)
+}
 
 // NumEdges reports the number of distinct (src, label, dst) edges.
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -78,37 +192,102 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 // NumLabels reports the number of distinct edge labels.
 func (g *Graph) NumLabels() int { return len(g.labels) }
 
+// Borrowed reports whether the graph's columns alias a read-only snapshot
+// mapping (see ReadSnapshot); such a graph must not outlive the mapping,
+// and strings handed to callers that may outlive it must be cloned.
+func (g *Graph) Borrowed() bool { return g.borrowed }
+
+// AdjacencyRange returns the byte range [start, end) the adjacency columns
+// occupied in the snapshot stream the graph was read from (zero for built
+// graphs) — the prefetch-hint range for mapped snapshots.
+func (g *Graph) AdjacencyRange() (start, end int64) { return g.adjStart, g.adjEnd }
+
+// nameIndex returns the name→ID map, building it on first use for
+// snapshot-loaded graphs. Safe for concurrent readers; the builder path
+// populates the map incrementally instead (single-threaded by the mutation
+// contract).
+func (g *Graph) nameIndex() map[string]NodeID {
+	g.nameOnce.Do(func() {
+		if g.byName != nil {
+			return
+		}
+		m := make(map[string]NodeID, g.NumNodes())
+		for i, n := 0, g.NumNodes(); i < n; i++ {
+			m[g.Name(NodeID(i))] = NodeID(i)
+		}
+		g.byName = m
+	})
+	return g.byName
+}
+
+// thaw switches frozen adjacency back to the mutable form ahead of a
+// mutation. Name/label blobs may still alias a mapping afterwards; a thawed
+// borrowed graph remains bound to its mapping's lifetime.
+func (g *Graph) thaw() {
+	g.out.thaw()
+	g.in.thaw()
+}
+
 // AddNode interns name and returns its node ID, creating the node if needed.
 func (g *Graph) AddNode(name string) NodeID {
-	if id, ok := g.byName[name]; ok {
+	idx := g.nameIndex()
+	if id, ok := idx[name]; ok {
 		return id
 	}
+	if g.out.frozen() {
+		g.thaw()
+	}
+	g.materializeNames()
 	id := NodeID(len(g.names))
 	g.names = append(g.names, name)
-	g.byName[name] = id
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
+	idx[name] = id
+	g.out.addNode()
+	g.in.addNode()
 	return id
 }
 
 // Node returns the ID for name and whether it exists.
 func (g *Graph) Node(name string) (NodeID, bool) {
-	id, ok := g.byName[name]
+	id, ok := g.nameIndex()[name]
 	return id, ok
 }
 
 // MustNode returns the ID for name, panicking if the node does not exist.
 // It is intended for tests and examples where the node is known to exist.
 func (g *Graph) MustNode(name string) NodeID {
-	id, ok := g.byName[name]
+	id, ok := g.Node(name)
 	if !ok {
 		panic(fmt.Sprintf("graph: unknown node %q", name))
 	}
 	return id
 }
 
-// Name returns the entity name for id.
-func (g *Graph) Name(id NodeID) string { return g.names[id] }
+// Name returns the entity name for id. For borrowed graphs the string
+// aliases the snapshot mapping — callers that retain it past the engine's
+// lifetime must clone.
+func (g *Graph) Name(id NodeID) string {
+	if g.nameOff != nil {
+		return g.nameBlob[g.nameOff[id]:g.nameOff[id+1]]
+	}
+	return g.names[id]
+}
+
+// materializeNames converts the lazy borrowed name table into a []string —
+// required before AddNode can append. Entries still alias the mapping blob
+// (same contract as thaw: a mutated borrowed graph remains bound to its
+// mapping's lifetime). Must not run concurrently with readers, which the
+// mutation contract already guarantees.
+func (g *Graph) materializeNames() {
+	if g.nameOff == nil {
+		return
+	}
+	names := make([]string, len(g.nameOff)-1)
+	for i := range names {
+		names[i] = g.nameBlob[g.nameOff[i]:g.nameOff[i+1]]
+	}
+	g.names = names
+	g.nameOff, g.nameBlob = nil, ""
+}
 
 // AddLabel interns an edge label and returns its ID.
 func (g *Graph) AddLabel(label string) LabelID {
@@ -140,13 +319,16 @@ func (g *Graph) AddEdge(src, label, dst string) bool {
 // edge was new; duplicate edges are ignored.
 func (g *Graph) AddEdgeIDs(src NodeID, label LabelID, dst NodeID) bool {
 	g.ensureEdgeSet()
+	if g.out.frozen() {
+		g.thaw()
+	}
 	e := Edge{Src: src, Label: label, Dst: dst}
 	if _, ok := g.edges[e]; ok {
 		return false
 	}
 	g.edges[e] = struct{}{}
-	g.out[src] = append(g.out[src], Arc{Label: label, Node: dst})
-	g.in[dst] = append(g.in[dst], Arc{Label: label, Node: src})
+	g.out.add(src, label, dst)
+	g.in.add(dst, label, src)
 	g.numEdges++
 	return true
 }
@@ -159,11 +341,10 @@ func (g *Graph) ensureEdgeSet() {
 		return
 	}
 	g.edges = make(map[Edge]struct{}, g.numEdges)
-	for src, arcs := range g.out {
-		for _, a := range arcs {
-			g.edges[Edge{Src: NodeID(src), Label: a.Label, Dst: a.Node}] = struct{}{}
-		}
-	}
+	g.Edges(func(e Edge) bool {
+		g.edges[e] = struct{}{}
+		return true
+	})
 }
 
 // HasEdge reports whether the exact edge exists. Graphs loaded from a
@@ -174,38 +355,40 @@ func (g *Graph) HasEdge(e Edge) bool {
 		_, ok := g.edges[e]
 		return ok
 	}
-	if int(e.Src) >= len(g.out) || int(e.Dst) >= len(g.in) || e.Src < 0 || e.Dst < 0 {
+	n := g.NumNodes()
+	if int(e.Src) >= n || int(e.Dst) >= n || e.Src < 0 || e.Dst < 0 {
 		return false
 	}
-	arcs, want := g.out[e.Src], Arc{Label: e.Label, Node: e.Dst}
-	if rev := g.in[e.Dst]; len(rev) < len(arcs) {
+	arcs, want := g.out.arcs(e.Src), Arc{Label: e.Label, Node: e.Dst}
+	if rev := g.in.arcs(e.Dst); rev.Len() < arcs.Len() {
 		arcs, want = rev, Arc{Label: e.Label, Node: e.Src}
 	}
-	for _, a := range arcs {
-		if a == want {
+	for i, node := range arcs.Nodes {
+		if node == want.Node && arcs.Labels[i] == want.Label {
 			return true
 		}
 	}
 	return false
 }
 
-// OutArcs returns the outgoing adjacency of v. The returned slice is owned by
-// the graph and must not be modified.
-func (g *Graph) OutArcs(v NodeID) []Arc { return g.out[v] }
+// OutArcs returns the outgoing adjacency of v as a column view. The columns
+// are owned by the graph and must not be modified.
+func (g *Graph) OutArcs(v NodeID) Arcs { return g.out.arcs(v) }
 
-// InArcs returns the incoming adjacency of v. The returned slice is owned by
-// the graph and must not be modified.
-func (g *Graph) InArcs(v NodeID) []Arc { return g.in[v] }
+// InArcs returns the incoming adjacency of v as a column view. The columns
+// are owned by the graph and must not be modified.
+func (g *Graph) InArcs(v NodeID) Arcs { return g.in.arcs(v) }
 
 // Degree returns the total (in+out) degree of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
+func (g *Graph) Degree(v NodeID) int { return g.out.degree(v) + g.in.degree(v) }
 
 // Edges calls fn for every edge in the graph in an unspecified order,
 // stopping early if fn returns false.
 func (g *Graph) Edges(fn func(Edge) bool) {
-	for src, arcs := range g.out {
-		for _, a := range arcs {
-			if !fn(Edge{Src: NodeID(src), Label: a.Label, Dst: a.Node}) {
+	for v, n := 0, g.NumNodes(); v < n; v++ {
+		arcs := g.out.arcs(NodeID(v))
+		for i, dst := range arcs.Nodes {
+			if !fn(Edge{Src: NodeID(v), Label: arcs.Labels[i], Dst: dst}) {
 				return
 			}
 		}
@@ -237,14 +420,21 @@ const sortParallelMin = 1 << 13
 // (0 or negative selects GOMAXPROCS). It must not run concurrently with
 // mutation, like SortAdjacency itself.
 func (g *Graph) SortAdjacencyParallel(workers int) {
+	if g.borrowed {
+		// Borrowed CSR columns are views of a read-only mapping; sorting
+		// would fault. Snapshots preserve write order, so a sorted graph
+		// round-trips sorted and this is never hit in practice — thaw keeps
+		// it correct for the caller that insists.
+		g.thaw()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := len(g.out)
+	n := g.NumNodes()
 	if workers == 1 || n < sortParallelMin {
-		for v := range g.out {
-			sortArcs(g.out[v])
-			sortArcs(g.in[v])
+		for v := 0; v < n; v++ {
+			sortArcs(g.out.arcs(NodeID(v)))
+			sortArcs(g.in.arcs(NodeID(v)))
 		}
 		return
 	}
@@ -254,8 +444,8 @@ func (g *Graph) SortAdjacencyParallel(workers int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for v := lo; v < hi; v++ {
-				sortArcs(g.out[v])
-				sortArcs(g.in[v])
+				sortArcs(g.out.arcs(NodeID(v)))
+				sortArcs(g.in.arcs(NodeID(v)))
 			}
 		}(r[0], r[1])
 	}
@@ -284,13 +474,26 @@ func NodeRanges(n, parts int) [][2]int {
 	return out
 }
 
-func sortArcs(arcs []Arc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].Label != arcs[j].Label {
-			return arcs[i].Label < arcs[j].Label
-		}
-		return arcs[i].Node < arcs[j].Node
-	})
+// sortArcs sorts one adjacency view's tandem columns in place by
+// (label, node).
+func sortArcs(a Arcs) {
+	sort.Sort(arcsByLabelNode(a))
+}
+
+// arcsByLabelNode adapts an Arcs view to sort.Interface, swapping the two
+// parallel columns in tandem.
+type arcsByLabelNode Arcs
+
+func (a arcsByLabelNode) Len() int { return len(a.Nodes) }
+func (a arcsByLabelNode) Less(i, j int) bool {
+	if a.Labels[i] != a.Labels[j] {
+		return a.Labels[i] < a.Labels[j]
+	}
+	return a.Nodes[i] < a.Nodes[j]
+}
+func (a arcsByLabelNode) Swap(i, j int) {
+	a.Labels[i], a.Labels[j] = a.Labels[j], a.Labels[i]
+	a.Nodes[i], a.Nodes[j] = a.Nodes[j], a.Nodes[i]
 }
 
 // String implements fmt.Stringer with a short structural summary.

@@ -105,13 +105,13 @@ func TestHasEdge(t *testing.T) {
 func TestAdjacency(t *testing.T) {
 	g := buildDiamond(t)
 	a, d := g.MustNode("a"), g.MustNode("d")
-	if got := len(g.OutArcs(a)); got != 2 {
+	if got := g.OutArcs(a).Len(); got != 2 {
 		t.Errorf("out-degree(a) = %d, want 2", got)
 	}
-	if got := len(g.InArcs(a)); got != 0 {
+	if got := g.InArcs(a).Len(); got != 0 {
 		t.Errorf("in-degree(a) = %d, want 0", got)
 	}
-	if got := len(g.InArcs(d)); got != 2 {
+	if got := g.InArcs(d).Len(); got != 2 {
 		t.Errorf("in-degree(d) = %d, want 2", got)
 	}
 	if got := g.Degree(d); got != 2 {
@@ -206,8 +206,8 @@ func TestSortAdjacencyDeterminism(t *testing.T) {
 	g.AddEdge("a", "b", "a2")
 	g.SortAdjacency()
 	arcs := g.OutArcs(g.MustNode("a"))
-	for i := 1; i < len(arcs); i++ {
-		prev, cur := arcs[i-1], arcs[i]
+	for i := 1; i < arcs.Len(); i++ {
+		prev, cur := arcs.At(i-1), arcs.At(i)
 		if prev.Label > cur.Label || (prev.Label == cur.Label && prev.Node > cur.Node) {
 			t.Fatalf("adjacency not sorted at %d: %v then %v", i, prev, cur)
 		}

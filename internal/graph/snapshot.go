@@ -3,19 +3,33 @@
 //
 // Layout (all values via internal/snapio; lengths prefix every column):
 //
-//	string table: u32 count, i32col byte lengths, length-prefixed blob of
-//	              all names concatenated — loaded names are slices of one
-//	              backing string, not count individual allocations
+//	string table: u32 count, i32col of count+1 cumulative byte offsets
+//	              (first 0, last = blob length), length-prefixed blob of all
+//	              names concatenated, zero-padded to a 4-byte boundary.
+//	              Offsets rather than lengths so a mapped load can keep the
+//	              borrowed offsets column and blob as-is and slice entries
+//	              out lazily — no O(count) allocation or scan at open; heap
+//	              loads materialize []string entries up front as before.
 //	(same shape for labels)
 //	u64 numEdges
-//	out adjacency: i32col degrees (numNodes), i32col arc labels, i32col arc
-//	               far ends (numEdges each, concatenated in node order)
+//	out adjacency: i32col of numNodes+1 cumulative arc offsets (first 0,
+//	               last numEdges — the CSR offset table verbatim), i32col
+//	               arc labels, i32col arc far ends (numEdges each,
+//	               concatenated in node order)
 //	in adjacency:  same three columns
 //
 // Both adjacency directions are stored even though one is a permutation of
 // the other: +8 bytes per edge on disk buys a load path that only slices
 // flat arenas — no counting sort, no per-node re-sort — which is the point
 // of a snapshot. The edge dedup set is not rebuilt at all (see Graph.edges).
+//
+// Zero-copy guarantee: the string blobs are the only variable-width values;
+// padding them back to 4-byte alignment keeps every i32 column 4-aligned
+// relative to the file start, so a mapped load (snapio.ViewReader) can
+// reinterpret column bytes as []int32 in place. The loaded adjacency is the
+// frozen CSR form either way: the on-disk offset column is the CSR offset
+// table verbatim over the label/far-end columns, so a mapped open does no
+// per-node work at all — O(sections) allocations, O(1) per column.
 package graph
 
 import (
@@ -30,11 +44,12 @@ import (
 // write instead of producing a file every load would reject.
 func writeStringTable(w *snapio.Writer, xs []string) {
 	w.Len(len(xs))
-	c := w.StartI32Col(len(xs))
+	c := w.StartI32Col(len(xs) + 1)
 	total := 0
+	c.Add(0)
 	for _, s := range xs {
-		c.Add(int32(len(s)))
 		total += len(s)
+		c.Add(int32(total))
 	}
 	if c.Close() != nil {
 		return
@@ -43,110 +58,126 @@ func writeStringTable(w *snapio.Writer, xs []string) {
 	for _, s := range xs {
 		w.RawString(s)
 	}
+	w.Align4()
 }
 
-// readStringTable loads a string column, slicing every entry out of one
-// backing string.
-func readStringTable(r *snapio.Reader) []string {
+// readStringTableView loads a string table's offsets column and blob without
+// materializing entries: O(1) work past the column reads themselves, so a
+// mapped open stays O(sections). Shape is validated at the edges (count,
+// first and last offset); interior monotonicity is not scanned for borrowed
+// sources — the CRC pass at open is the trust boundary, exactly as for the
+// adjacency range scan below.
+func readStringTableView(r snapio.Source) ([]int32, string) {
 	n := r.Len()
 	if r.Err() != nil {
-		return nil
+		return nil, ""
 	}
-	lens := snapio.ReadI32Col[int32](r)
+	off := snapio.ReadI32Col[int32](r)
 	blob := r.String()
-	if r.Err() != nil || n == 0 {
-		return nil
+	r.Align4()
+	if r.Err() != nil {
+		return nil, ""
 	}
-	if len(lens) != n {
+	if len(off) != n+1 || off[0] != 0 || int(off[n]) != len(blob) {
 		r.Fail(fmt.Errorf("%w: string table shape", snapio.ErrCorrupt))
+		return nil, ""
+	}
+	return off, blob
+}
+
+// readStringTable loads a string column eagerly, slicing every entry out of
+// one backing string — the heap-load form, with every offset pair checked.
+func readStringTable(r snapio.Source) []string {
+	off, blob := readStringTableView(r)
+	if r.Err() != nil || len(off) <= 1 {
 		return nil
 	}
-	out := make([]string, n)
-	pos := 0
-	for i, l := range lens {
-		if l < 0 || pos+int(l) > len(blob) {
+	out := make([]string, len(off)-1)
+	for i := range out {
+		lo, hi := off[i], off[i+1]
+		if lo < 0 || hi < lo || int(hi) > len(blob) {
 			r.Fail(fmt.Errorf("%w: string table overrun", snapio.ErrCorrupt))
 			return nil
 		}
-		out[i] = blob[pos : pos+int(l)]
-		pos += int(l)
-	}
-	if pos != len(blob) {
-		r.Fail(fmt.Errorf("%w: string table slack", snapio.ErrCorrupt))
-		return nil
+		out[i] = blob[lo:hi]
 	}
 	return out
 }
 
 // writeAdjacency emits one direction as degree/label/node columns. The
-// columns are streamed straight off the adjacency lists (one extra pass
-// per column instead of materializing numEdges-sized temporaries — at
-// write time the graph is resident and a multi-GB host has no slack for
+// columns are streamed straight off the adjacency (one extra pass per
+// column instead of materializing numEdges-sized temporaries — at write
+// time the graph is resident and a multi-GB host has no slack for
 // throwaway copies of it).
-func writeAdjacency(w *snapio.Writer, adj [][]Arc, numEdges int) {
-	c := w.StartI32Col(len(adj))
-	for _, arcs := range adj {
-		c.Add(int32(len(arcs)))
+func writeAdjacency(w *snapio.Writer, a *adjacency, numNodes, numEdges int) {
+	c := w.StartI32Col(numNodes + 1)
+	sum := 0
+	c.Add(0)
+	for v := 0; v < numNodes; v++ {
+		sum += a.degree(NodeID(v))
+		c.Add(int32(sum))
 	}
 	if c.Close() != nil {
 		return
 	}
 	c = w.StartI32Col(numEdges)
-	for _, arcs := range adj {
-		for _, a := range arcs {
-			c.Add(int32(a.Label))
+	for v := 0; v < numNodes; v++ {
+		for _, l := range a.arcs(NodeID(v)).Labels {
+			c.Add(int32(l))
 		}
 	}
 	if c.Close() != nil {
 		return
 	}
 	c = w.StartI32Col(numEdges)
-	for _, arcs := range adj {
-		for _, a := range arcs {
-			c.Add(int32(a.Node))
+	for v := 0; v < numNodes; v++ {
+		for _, n := range a.arcs(NodeID(v)).Nodes {
+			c.Add(int32(n))
 		}
 	}
 	c.Close()
 }
 
-// readAdjacency loads one direction into a flat arc arena sliced per node,
-// preserving the written order and validating shape and ranges.
-func readAdjacency(r *snapio.Reader, numNodes, numLabels, numEdges int) [][]Arc {
-	deg := snapio.ReadI32Col[int32](r)
-	labels := snapio.ReadI32Col[LabelID](r)
-	nodes := snapio.ReadI32Col[NodeID](r)
+// readAdjacency loads one direction as frozen CSR, preserving the written
+// order. Shape (column lengths, degree sums) is always validated; the
+// per-arc range scan is skipped for borrowed sources, whose bytes were
+// already checksummed at open — touching every element there would fault
+// the whole column into memory, defeating the point of mapping it. A
+// CRC-valid file therefore defines the trust boundary for the mapped path.
+func readAdjacency(r snapio.Source, numNodes, numLabels, numEdges int) adjacency {
+	off := snapio.ReadI32Col[int32](r)
+	lab := snapio.ReadI32Col[LabelID](r)
+	dst := snapio.ReadI32Col[NodeID](r)
 	if r.Err() != nil {
-		return nil
+		return adjacency{}
 	}
-	if len(deg) != numNodes || len(labels) != numEdges || len(nodes) != numEdges {
+	if len(off) != numNodes+1 || len(lab) != numEdges || len(dst) != numEdges {
 		r.Fail(fmt.Errorf("%w: adjacency column shape mismatch", snapio.ErrCorrupt))
-		return nil
+		return adjacency{}
 	}
-	arena := make([]Arc, numEdges)
-	for i := range arena {
-		l, n := labels[i], nodes[i]
-		if int(n) < 0 || int(n) >= numNodes || int(l) < 0 || int(l) >= numLabels {
-			r.Fail(fmt.Errorf("%w: arc out of range", snapio.ErrCorrupt))
-			return nil
+	// The on-disk offset table IS the CSR offset table: a borrowed source
+	// keeps all three columns as views — no prefix-sum pass, no O(numNodes)
+	// allocation. Edge checks are O(1); interior monotonicity is scanned
+	// only for owned sources, per the CRC trust boundary above.
+	if off[0] != 0 || int(off[numNodes]) != numEdges {
+		r.Fail(fmt.Errorf("%w: offset table endpoints", snapio.ErrCorrupt))
+		return adjacency{}
+	}
+	if !r.Borrowed() {
+		for v := 0; v < numNodes; v++ {
+			if off[v+1] < off[v] {
+				r.Fail(fmt.Errorf("%w: offset table not monotone", snapio.ErrCorrupt))
+				return adjacency{}
+			}
 		}
-		arena[i] = Arc{Label: l, Node: n}
-	}
-	adj := make([][]Arc, numNodes)
-	pos := 0
-	for v := 0; v < numNodes; v++ {
-		d := int(deg[v])
-		if d < 0 || pos+d > numEdges {
-			r.Fail(fmt.Errorf("%w: degree column overruns edges", snapio.ErrCorrupt))
-			return nil
+		for i := range lab {
+			if int(dst[i]) < 0 || int(dst[i]) >= numNodes || int(lab[i]) < 0 || int(lab[i]) >= numLabels {
+				r.Fail(fmt.Errorf("%w: arc out of range", snapio.ErrCorrupt))
+				return adjacency{}
+			}
 		}
-		adj[v] = arena[pos : pos+d : pos+d]
-		pos += d
 	}
-	if pos != numEdges {
-		r.Fail(fmt.Errorf("%w: degree sum %d != edge count %d", snapio.ErrCorrupt, pos, numEdges))
-		return nil
-	}
-	return adj
+	return adjacency{off: off, lab: lab, dst: dst}
 }
 
 // AppendSnapshot writes g's snapshot section to w. Arcs are written in the
@@ -156,18 +187,27 @@ func (g *Graph) AppendSnapshot(w *snapio.Writer) error {
 	writeStringTable(w, g.names)
 	writeStringTable(w, g.labels)
 	w.U64(uint64(g.numEdges))
-	writeAdjacency(w, g.out, g.numEdges)
-	writeAdjacency(w, g.in, g.numEdges)
+	writeAdjacency(w, &g.out, g.NumNodes(), g.numEdges)
+	writeAdjacency(w, &g.in, g.NumNodes(), g.numEdges)
 	return w.Err()
 }
 
 // ReadSnapshot reads a snapshot section written by AppendSnapshot and
-// reconstructs the graph. The name/label interning maps are rebuilt (query
-// tuples resolve entities by name); everything else lands by slicing flat
-// columns.
-func ReadSnapshot(r *snapio.Reader) (*Graph, error) {
-	g := &Graph{}
-	g.names = readStringTable(r)
+// reconstructs the graph in frozen CSR form. From a borrowed source
+// (mapped snapshot) the big columns and the name blob are zero-copy views
+// of the mapping; either way the name→ID index is deferred to first use —
+// a mapped open must cost O(sections), not O(nodes).
+func ReadSnapshot(r snapio.Source) (*Graph, error) {
+	g := &Graph{borrowed: r.Borrowed()}
+	if r.Borrowed() {
+		// Keep the name table in its on-disk form: the offsets column and
+		// blob are views of the mapping, and Name slices entries out on
+		// demand — the O(numNodes) []string materialization is exactly the
+		// cost a mapped open exists to avoid.
+		g.nameOff, g.nameBlob = readStringTableView(r)
+	} else {
+		g.names = readStringTable(r)
+	}
 	g.labels = readStringTable(r)
 	numEdges := r.U64()
 	if r.Err() != nil {
@@ -177,16 +217,15 @@ func ReadSnapshot(r *snapio.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("%w: %d edges", snapio.ErrCorrupt, numEdges)
 	}
 	g.numEdges = int(numEdges)
-	g.byName = make(map[string]NodeID, len(g.names))
-	for i, n := range g.names {
-		g.byName[n] = NodeID(i)
-	}
 	g.labelByName = make(map[string]LabelID, len(g.labels))
 	for i, l := range g.labels {
 		g.labelByName[l] = LabelID(i)
 	}
-	g.out = readAdjacency(r, len(g.names), len(g.labels), g.numEdges)
-	g.in = readAdjacency(r, len(g.names), len(g.labels), g.numEdges)
+	numNodes := g.NumNodes()
+	g.adjStart = r.Pos()
+	g.out = readAdjacency(r, numNodes, len(g.labels), g.numEdges)
+	g.in = readAdjacency(r, numNodes, len(g.labels), g.numEdges)
+	g.adjEnd = r.Pos()
 	if r.Err() != nil {
 		return nil, r.Err()
 	}

@@ -56,17 +56,17 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		outA, outB := g.OutArcs(v), got.OutArcs(v)
 		inA, inB := g.InArcs(v), got.InArcs(v)
-		if len(outA) != len(outB) || len(inA) != len(inB) {
+		if outA.Len() != outB.Len() || inA.Len() != inB.Len() {
 			t.Fatalf("node %d adjacency sizes differ", v)
 		}
-		for i := range outA {
-			if outA[i] != outB[i] {
-				t.Fatalf("out[%d][%d] = %v, want %v", v, i, outB[i], outA[i])
+		for i := 0; i < outA.Len(); i++ {
+			if outA.At(i) != outB.At(i) {
+				t.Fatalf("out[%d][%d] = %v, want %v", v, i, outB.At(i), outA.At(i))
 			}
 		}
-		for i := range inA {
-			if inA[i] != inB[i] {
-				t.Fatalf("in[%d][%d] = %v, want %v", v, i, inB[i], inA[i])
+		for i := 0; i < inA.Len(); i++ {
+			if inA.At(i) != inB.At(i) {
+				t.Fatalf("in[%d][%d] = %v, want %v", v, i, inB.At(i), inA.At(i))
 			}
 		}
 	}

@@ -91,11 +91,11 @@ func (g *Graph) UndirectedDistancesInto(d *DistMap, seeds []NodeID, maxDepth int
 		if dv == maxDepth {
 			continue
 		}
-		for _, a := range g.out[v] {
-			d.Add(a.Node, dv+1)
+		for _, u := range g.out.arcs(v).Nodes {
+			d.Add(u, dv+1)
 		}
-		for _, a := range g.in[v] {
-			d.Add(a.Node, dv+1)
+		for _, u := range g.in.arcs(v).Nodes {
+			d.Add(u, dv+1)
 		}
 	}
 }
@@ -126,11 +126,11 @@ func (g *Graph) UndirectedDistances(seeds []NodeID, maxDepth int) map[NodeID]int
 				queue = append(queue, u)
 			}
 		}
-		for _, a := range g.out[v] {
-			visit(a.Node)
+		for _, u := range g.out.arcs(v).Nodes {
+			visit(u)
 		}
-		for _, a := range g.in[v] {
-			visit(a.Node)
+		for _, u := range g.in.arcs(v).Nodes {
+			visit(u)
 		}
 	}
 	return dist
@@ -143,10 +143,12 @@ func (g *Graph) UndirectedDistancesFrom(seed NodeID, maxDepth int) map[NodeID]in
 
 // IncidentEdges calls fn for every edge incident on v (both directions).
 func (g *Graph) IncidentEdges(v NodeID, fn func(Edge)) {
-	for _, a := range g.out[v] {
-		fn(Edge{Src: v, Label: a.Label, Dst: a.Node})
+	out := g.out.arcs(v)
+	for i, u := range out.Nodes {
+		fn(Edge{Src: v, Label: out.Labels[i], Dst: u})
 	}
-	for _, a := range g.in[v] {
-		fn(Edge{Src: a.Node, Label: a.Label, Dst: v})
+	in := g.in.arcs(v)
+	for i, u := range in.Nodes {
+		fn(Edge{Src: u, Label: in.Labels[i], Dst: v})
 	}
 }

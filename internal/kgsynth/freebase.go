@@ -428,9 +428,10 @@ func (f *fbState) qF15() Query {
 		if !ok {
 			continue
 		}
-		for _, a := range g.OutArcs(id) {
-			if a.Label == wl {
-				table = append(table, []string{sw, g.Name(a.Node)})
+		arcs := g.OutArcs(id)
+		for i, l := range arcs.Labels {
+			if l == wl {
+				table = append(table, []string{sw, g.Name(arcs.Nodes[i])})
 				break
 			}
 		}

@@ -180,7 +180,7 @@ func TestHubParticipation(t *testing.T) {
 	if !ok {
 		t.Fatal("Country 1 missing")
 	}
-	if got := len(d.Graph.InArcs(c1)); got < 100 {
+	if got := d.Graph.InArcs(c1).Len(); got < 100 {
 		t.Errorf("Country 1 in-degree = %d, want a hub", got)
 	}
 }

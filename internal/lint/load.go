@@ -10,6 +10,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -53,10 +54,18 @@ func NewLoader() *Loader {
 
 // LoadDir parses and typechecks the package in dir under the given import
 // path. Test files are excluded: the invariants gate shipped code, and
-// tests legitimately use context.Background, fixtures, and fmt.
+// tests legitimately use context.Background, fixtures, and fmt. Build
+// constraints are honored for the host platform (go/build.Default), so
+// platform-split files (e.g. snapio's mmap backends) don't typecheck as
+// redeclarations — matching what the compiler itself would load here.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	buildCtxt := build.Default
 	pkgs, err := parser.ParseDir(l.fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
+		if strings.HasSuffix(fi.Name(), "_test.go") {
+			return false
+		}
+		ok, err := buildCtxt.MatchFile(dir, fi.Name())
+		return err == nil && ok
 	}, parser.ParseComments)
 	if err != nil {
 		return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)

@@ -130,11 +130,13 @@ func extractEdges(ctx context.Context, g *graph.Graph, dist *graph.DistMap, d in
 		// Every neighbor of a node at distance ≤ d−1 is itself at distance
 		// ≤ d, so it is always in the dist map; emit both directions and
 		// let NewSubGraph deduplicate edges seen from both endpoints.
-		for _, a := range g.OutArcs(v) {
-			edges = append(edges, graph.Edge{Src: v, Label: a.Label, Dst: a.Node})
+		out := g.OutArcs(v)
+		for i, far := range out.Nodes {
+			edges = append(edges, graph.Edge{Src: v, Label: out.Labels[i], Dst: far})
 		}
-		for _, a := range g.InArcs(v) {
-			edges = append(edges, graph.Edge{Src: a.Node, Label: a.Label, Dst: v})
+		in := g.InArcs(v)
+		for i, far := range in.Nodes {
+			edges = append(edges, graph.Edge{Src: far, Label: in.Labels[i], Dst: v})
 		}
 	}
 	return graph.NewSubGraph(edges), nil

@@ -117,14 +117,15 @@ func Search(g *graph.Graph, store *storage.Store, m *mqg.MQG, exclude [][]graph.
 			if !ok {
 				continue
 			}
+			subj, obj := t.PairCols()
 			if e.Src == v { // outgoing from v: candidates are subjects
-				for _, p := range t.Pairs() {
-					set[p.Subj] = 0
+				for _, s := range subj {
+					set[s] = 0
 				}
 			}
 			if e.Dst == v { // incoming into v: candidates are objects
-				for _, p := range t.Pairs() {
-					set[p.Obj] = 0
+				for _, o := range obj {
+					set[o] = 0
 				}
 			}
 		}
@@ -356,18 +357,20 @@ func dataVector(g *graph.Graph, v graph.NodeID, h int, alpha float64) vector {
 			continue
 		}
 		w := alphaPow(alpha, f.depth)
-		for _, a := range g.OutArcs(f.node) {
-			vec[feature{a.Label, true}] += w
-			if !visited[a.Node] {
-				visited[a.Node] = true
-				queue = append(queue, frame{a.Node, f.depth + 1})
+		out := g.OutArcs(f.node)
+		for i, far := range out.Nodes {
+			vec[feature{out.Labels[i], true}] += w
+			if !visited[far] {
+				visited[far] = true
+				queue = append(queue, frame{far, f.depth + 1})
 			}
 		}
-		for _, a := range g.InArcs(f.node) {
-			vec[feature{a.Label, false}] += w
-			if !visited[a.Node] {
-				visited[a.Node] = true
-				queue = append(queue, frame{a.Node, f.depth + 1})
+		in := g.InArcs(f.node)
+		for i, far := range in.Nodes {
+			vec[feature{in.Labels[i], false}] += w
+			if !visited[far] {
+				visited[far] = true
+				queue = append(queue, frame{far, f.depth + 1})
 			}
 		}
 	}
@@ -407,12 +410,12 @@ func similarity(q, c vector) float64 {
 // NESS's neighborhood-consistency signal.
 func supportFraction(g *graph.Graph, m *mqg.MQG, qadj map[graph.NodeID][]int, cands map[graph.NodeID]map[graph.NodeID]float64, v, c graph.NodeID) float64 {
 	total, ok := 0, 0
-	check := func(arcs []graph.Arc, label graph.LabelID, far graph.NodeID) bool {
-		for _, a := range arcs {
-			if a.Label != label {
+	check := func(arcs graph.Arcs, label graph.LabelID, far graph.NodeID) bool {
+		for i, l := range arcs.Labels {
+			if l != label {
 				continue
 			}
-			if _, isCand := cands[far][a.Node]; isCand {
+			if _, isCand := cands[far][arcs.Nodes[i]]; isCand {
 				return true
 			}
 		}

@@ -91,7 +91,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// One engine generation for the whole envelope: a hot reload landing
 	// mid-batch must not split the batch's items across two engines.
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	items := make([]*batchItem, len(req.Queries))
 	// groups collects dedupable items by (cache key, effective timeout):
 	// items differing only in timeout_ms are the same cache entry but not

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -45,6 +46,37 @@ func loadBenchEngine(b *testing.B) (*gqbe.Engine, *kgsynth.Dataset) {
 // under bursty interactive traffic rather than a closed loop's self-pacing.
 const poissonMeanGap = 4 * time.Millisecond
 
+// latRecorder accumulates client-side latencies measured from each
+// request's INTENDED arrival instant, not its actual send — the correction
+// for coordinated omission. A closed (or serially-issued) load generator
+// stops offering work while the server stalls, so the stall never shows up
+// in per-request latencies; measuring from the schedule charges every
+// request with the queueing delay an independent open-loop client would
+// have seen.
+type latRecorder struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (r *latRecorder) add(d time.Duration) {
+	r.mu.Lock()
+	r.lats = append(r.lats, d)
+	r.mu.Unlock()
+}
+
+// percentileMS returns the p-th percentile (0..1) in milliseconds.
+func (r *latRecorder) percentileMS(p float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
 // BenchmarkServerLoad drives a scripted load — 8 workers cycling over 6
 // distinct workload queries (so repeats hit the cache and coalesce) plus one
 // batch request per worker — through the full serving stack, then reports
@@ -52,9 +84,14 @@ const poissonMeanGap = 4 * time.Millisecond
 //
 //	closed  — each worker fires its next request as soon as the previous
 //	          answer lands (the classic closed loop; self-paces under load)
-//	poisson — each worker draws exponential inter-arrival gaps (seeded, so
-//	          runs are reproducible), approximating bursty open-loop
-//	          interactive traffic
+//	poisson — a true open loop: each worker precomputes an absolute
+//	          exponential arrival schedule (seeded, so runs are
+//	          reproducible) and fires every arrival at its scheduled
+//	          instant in its own goroutine, whether or not earlier requests
+//	          have finished. Client latency is measured from the INTENDED
+//	          arrival, so server stalls surface as latency instead of
+//	          silently pausing the offered load (no coordinated omission);
+//	          reported as ol_p50ms/ol_p99ms beside the server-side stats.
 //
 // Two further modes probe policy knobs rather than arrival shape:
 //
@@ -107,6 +144,7 @@ func benchServerLoad(b *testing.B, poisson bool, searchWorkers int, noCache bool
 
 	b.ResetTimer()
 	var snap statzSnapshot
+	var rec *latRecorder
 	for n := 0; n < b.N; n++ {
 		srv := New(eng, Config{MaxConcurrent: workers, SearchWorkers: searchWorkers})
 		post := func(path, body string) int {
@@ -115,6 +153,7 @@ func benchServerLoad(b *testing.B, poisson bool, searchWorkers int, noCache bool
 			srv.ServeHTTP(w, req)
 			return w.Code
 		}
+		rec = &latRecorder{}
 		var wg sync.WaitGroup
 		for wkr := 0; wkr < workers; wkr++ {
 			wg.Add(1)
@@ -123,13 +162,34 @@ func benchServerLoad(b *testing.B, poisson bool, searchWorkers int, noCache bool
 				// Per-worker seeded source: the arrival script is part of
 				// the benchmark definition, so runs stay reproducible.
 				rng := rand.New(rand.NewSource(int64(1000*n + wkr)))
-				for i := 0; i < 12; i++ {
-					if poisson {
-						time.Sleep(time.Duration(rng.ExpFloat64() * float64(poissonMeanGap)))
+				if poisson {
+					// Open loop: walk an absolute schedule; a request that
+					// would land after its scheduled instant fires
+					// immediately and the slip counts toward its latency.
+					var awg sync.WaitGroup
+					sched := time.Now()
+					for i := 0; i < 12; i++ {
+						sched = sched.Add(time.Duration(rng.ExpFloat64() * float64(poissonMeanGap)))
+						if d := time.Until(sched); d > 0 {
+							time.Sleep(d)
+						}
+						awg.Add(1)
+						go func(body string, intended time.Time) {
+							defer awg.Done()
+							if code := post("/v1/query", body); code != http.StatusOK {
+								b.Errorf("query status %d", code)
+								return
+							}
+							rec.add(time.Since(intended))
+						}(bodies[(wkr+i)%len(bodies)], sched)
 					}
-					if code := post("/v1/query", bodies[(wkr+i)%len(bodies)]); code != http.StatusOK {
-						b.Errorf("query status %d", code)
-						return
+					awg.Wait()
+				} else {
+					for i := 0; i < 12; i++ {
+						if code := post("/v1/query", bodies[(wkr+i)%len(bodies)]); code != http.StatusOK {
+							b.Errorf("query status %d", code)
+							return
+						}
 					}
 				}
 				if code := post("/v1/query:batch", batchBody); code != http.StatusOK {
@@ -152,15 +212,28 @@ func benchServerLoad(b *testing.B, poisson bool, searchWorkers int, noCache bool
 	b.ReportMetric(float64(snap.Coalesced), "coalesced")
 	b.ReportMetric(float64(snap.CacheServed), "cache_served")
 	b.ReportMetric(float64(snap.Cache.SkippedFast), "cache_skipped_fast")
+	if poisson {
+		// Client-side, intended-arrival-relative latencies: the
+		// coordinated-omission-corrected view of the same run.
+		b.ReportMetric(rec.percentileMS(0.50), "ol_p50ms")
+		b.ReportMetric(rec.percentileMS(0.99), "ol_p99ms")
+	}
 }
 
-// benchSaturation rams `clients` concurrent closed-loop clients against a
-// server with 8 worker slots and a deliberately short queue wait, with
-// no_cache set on every request so each one demands real engine work (warm
-// cache hits would make saturation impossible to reach). Past ~8 clients
-// the offered load exceeds the admission limit and the server must shed:
-// the reported served/rejected split and p99 are the backpressure envelope
-// ROADMAP's saturation-sweep item asks to track.
+// benchSaturation offers an open-loop load ramp against a server with 8
+// worker slots and a deliberately short queue wait, with no_cache set on
+// every request so each one demands real engine work (warm cache hits would
+// make saturation impossible to reach). Each of the N clients (8..64)
+// walks its own absolute exponential arrival schedule and fires every
+// arrival in its own goroutine — so shedding cannot slow the offered load
+// down, which is exactly the failure of the earlier closed-loop version:
+// fast 429s made rejected clients re-offer sooner while queued clients
+// stalled, entangling the offered rate with the server's own behavior.
+// Past ~8 clients the offered load exceeds the admission limit and the
+// server must shed: the reported served/rejected split, the server-side
+// p99, and the client-side intended-arrival ol_p99 of the *served*
+// requests are the backpressure envelope ROADMAP's saturation-sweep item
+// asks to track.
 func benchSaturation(b *testing.B, clients int) {
 	eng, ds := loadBenchEngine(b)
 
@@ -178,25 +251,43 @@ func benchSaturation(b *testing.B, clients int) {
 
 	b.ResetTimer()
 	var snap statzSnapshot
+	var rec *latRecorder
 	for n := 0; n < b.N; n++ {
 		srv := New(eng, Config{MaxConcurrent: slots, MaxQueueWait: 20 * time.Millisecond})
+		rec = &latRecorder{}
 		var wg sync.WaitGroup
 		for c := 0; c < clients; c++ {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(7000*n + c)))
+				var awg sync.WaitGroup
+				sched := time.Now()
 				for i := 0; i < perClient; i++ {
-					req := httptest.NewRequest(http.MethodPost, "/v1/query",
-						strings.NewReader(bodies[(c+i)%len(bodies)]))
-					w := httptest.NewRecorder()
-					srv.ServeHTTP(w, req)
-					// Under deliberate overload 429 (shed) is an expected
-					// outcome; anything else but 200 is a bench bug.
-					if w.Code != http.StatusOK && w.Code != http.StatusTooManyRequests {
-						b.Errorf("saturation status %d: %s", w.Code, w.Body.String())
-						return
+					sched = sched.Add(time.Duration(rng.ExpFloat64() * float64(poissonMeanGap)))
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
 					}
+					awg.Add(1)
+					go func(body string, intended time.Time) {
+						defer awg.Done()
+						req := httptest.NewRequest(http.MethodPost, "/v1/query",
+							strings.NewReader(body))
+						w := httptest.NewRecorder()
+						srv.ServeHTTP(w, req)
+						switch w.Code {
+						case http.StatusOK:
+							rec.add(time.Since(intended))
+						case http.StatusTooManyRequests:
+							// Shed under deliberate overload — expected; its
+							// cost is visible in the rejected count, not the
+							// served-latency percentile.
+						default:
+							b.Errorf("saturation status %d: %s", w.Code, w.Body.String())
+						}
+					}(bodies[(c+i)%len(bodies)], sched)
 				}
+				awg.Wait()
 			}(c)
 		}
 		wg.Wait()
@@ -213,4 +304,5 @@ func benchSaturation(b *testing.B, clients int) {
 	b.ReportMetric(snap.Latency.P99, "p99ms")
 	b.ReportMetric(float64(snap.Served), "served")
 	b.ReportMetric(float64(snap.Rejected), "rejected")
+	b.ReportMetric(rec.percentileMS(0.99), "ol_p99ms")
 }

@@ -155,7 +155,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	if name, ok := unknownEntity(eg.eng, tuples); !ok {
 		s.met.errored.Add(1)
 		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))

@@ -99,12 +99,15 @@ type statzEngine struct {
 }
 
 // statzBuild describes how the engine's offline phase ran: a restart either
-// paid for a full parse+build (build_ms at the recorded shard count) or a
-// binary snapshot load (snapshot true, shards 1).
+// paid for a full parse+build (build_ms at the recorded shard count), a
+// binary snapshot load (snapshot true, shards 1), or a zero-copy mapped
+// snapshot open (mapped true, with the mapping size in mapped_bytes).
 type statzBuild struct {
-	BuildMS  float64 `json:"build_ms"`
-	Shards   int     `json:"shards"`
-	Snapshot bool    `json:"snapshot"`
+	BuildMS     float64 `json:"build_ms"`
+	Shards      int     `json:"shards"`
+	Snapshot    bool    `json:"snapshot"`
+	Mapped      bool    `json:"mapped"`
+	MappedBytes int64   `json:"mapped_bytes,omitempty"`
 }
 
 // statzSearch describes the lattice-search fan-out policy the server runs

@@ -23,7 +23,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.met
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	hits, misses, evictions := s.cache.counters()
 
 	var b bytes.Buffer
@@ -83,6 +84,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promGauge(&b, "gqbe_graph_predicates", "Distinct predicates in the loaded knowledge graph.", float64(eg.eng.NumPredicates()))
 	promGauge(&b, "gqbe_engine_generation",
 		"Serving engine's hot-reload generation (1 at boot, +1 per successful reload).", float64(eg.gen))
+	promGauge(&b, "gqbe_snapshot_mapped_bytes",
+		"Size of the memory-mapped snapshot backing the serving engine (0 for heap-loaded engines).",
+		float64(eg.eng.BuildInfo().MappedBytes))
 
 	promHistogram(&b, "gqbe_search_latency_seconds",
 		"Engine search time per executed query (queue wait excluded; cache hits and coalesced answers excluded).",

@@ -36,13 +36,22 @@ func (s *Server) Reload() (uint64, error) {
 		s.cfg.Logger.Error("hot reload rejected; serving engine retained", "error", err)
 		return s.engine().gen, fmt.Errorf("server: reload rejected: %w", err)
 	}
-	next := &engineGen{eng: eng, gen: s.engine().gen + 1}
+	old := s.engine()
+	next := &engineGen{eng: eng, gen: old.gen + 1}
+	next.refs.Store(1) // publish reference, dropped by the reload that replaces it
 	s.engp.Store(next)
 	// Old-generation cache and flight keys are unreachable from here on
 	// (keys embed the generation), so purging is purely about returning
 	// their memory now instead of waiting for LRU churn to evict dead
 	// entries one by one.
 	s.cache.purge()
+	// Unpublish the old generation: drop the server's reference. If requests
+	// are still in flight on it, the last to drain closes it (unmapping a
+	// mapped snapshot); with none in flight it closes here. Either way no
+	// request can observe a closed engine — acquisition fails once the count
+	// reaches zero, and the count cannot reach zero while a request holds a
+	// reference.
+	old.release()
 	s.met.reloadsOK.Add(1)
 	s.cfg.Logger.Info("hot reload complete",
 		"generation", next.gen, "entities", eng.NumEntities(), "facts", eng.NumFacts())

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gqbe"
+)
+
+// fig1MappedEngine snapshots the Fig. 1 engine to disk and reopens it
+// memory-mapped, so reload tests exercise the real unmap lifecycle.
+func fig1MappedEngine(t *testing.T) *gqbe.Engine {
+	t.Helper()
+	built := fig1Engine(t)
+	path := filepath.Join(t.TempDir(), "fig1.snap")
+	if err := built.WriteSnapshotFile(path); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	eng, err := gqbe.OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotMapped: %v", err)
+	}
+	if !eng.Mapped() {
+		t.Fatal("snapshot engine not mapped")
+	}
+	return eng
+}
+
+// TestReloadDefersUnmapUntilInFlightDrains: a reload must not unmap the old
+// generation while a request is still executing on it — the unmap happens
+// when the last in-flight request releases its reference, and the request
+// completes with correct answers off the condemned mapping.
+func TestReloadDefersUnmapUntilInFlightDrains(t *testing.T) {
+	old := fig1MappedEngine(t)
+	next := fig1MappedEngine(t)
+	cfg := Config{Reload: func() (*gqbe.Engine, error) { return next, nil }}
+	cfg.CacheMinLatency = -1
+	s := New(old, cfg)
+	key := founderKey(t)
+
+	gate := make(chan struct{})
+	s.execHook = func() { <-gate }
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"]}`) }()
+	waitUntil(t, 5*time.Second, func() bool { return s.flights.active(key) },
+		"in-flight query never reached the engine")
+
+	if gen, err := s.Reload(); err != nil || gen != 2 {
+		t.Fatalf("reload: gen=%d err=%v, want gen 2", gen, err)
+	}
+	if old.Closed() {
+		t.Fatal("old generation unmapped while a request was in flight on it")
+	}
+	close(gate)
+	w := <-done
+	if w.Code != http.StatusOK {
+		t.Fatalf("in-flight request: status = %d, body %s", w.Code, w.Body.String())
+	}
+	if res := decodeQuery(t, w); len(res.Answers) == 0 {
+		t.Error("in-flight request on the condemned mapping returned no answers")
+	}
+	waitUntil(t, 5*time.Second, func() bool { return old.Closed() },
+		"old generation never unmapped after its last request drained")
+	if next.Closed() {
+		t.Error("current generation closed")
+	}
+}
+
+// TestReloadUnmapStorm races queries against back-to-back reloads of mapped
+// engines (run under -race): every request must land on a live mapping, and
+// after the dust settles every generation except the current one must be
+// closed — no leaked mapping, no use-after-unmap.
+func TestReloadUnmapStorm(t *testing.T) {
+	var mu sync.Mutex
+	var engines []*gqbe.Engine
+	loader := func() (*gqbe.Engine, error) {
+		eng := fig1MappedEngine(t)
+		mu.Lock()
+		engines = append(engines, eng)
+		mu.Unlock()
+		return eng, nil
+	}
+	first, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Reload: loader}
+	cfg.CacheMinLatency = -1
+	s := New(first, cfg)
+
+	const workers = 4
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// no_cache forces a real engine execution per request, so
+				// every iteration exercises the borrow-while-reloading path.
+				rec := postQuery(t, s, `{"tuple":["Jerry Yang","Yahoo!"],"no_cache":true}`)
+				if rec.Code != http.StatusOK {
+					t.Errorf("storm query: status = %d, body %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	const reloads = 8
+	for i := 0; i < reloads; i++ {
+		if _, err := s.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+
+	current := s.engine().eng
+	mu.Lock()
+	defer mu.Unlock()
+	for i, eng := range engines {
+		if eng == current {
+			if eng.Closed() {
+				t.Errorf("current generation (engine %d) is closed", i)
+			}
+			continue
+		}
+		eng := eng
+		waitUntil(t, 5*time.Second, func() bool { return eng.Closed() },
+			"superseded mapped generation never unmapped")
+		_ = i
+	}
+}

@@ -256,9 +256,41 @@ var errInternal = errors.New("server: internal error")
 // requests finish on the engine they started with (never dropped by a swap).
 // Cache and singleflight keys embed the generation, so results computed on
 // one engine are unreachable from another.
+//
+// The generation is reference counted so memory-mapped engines can be
+// unmapped safely: refs holds one publish reference (owned by the server
+// while the generation is current) plus one per in-flight request. Reload
+// drops the publish reference after the swap; whoever brings the count to
+// zero — the last draining request, or the reload itself when none are in
+// flight — closes the engine. Heap engines ride the same lifecycle (their
+// Close is a no-op), so the invariant is uniform.
 type engineGen struct {
-	eng *gqbe.Engine
-	gen uint64
+	eng  *gqbe.Engine
+	gen  uint64
+	refs atomic.Int64
+}
+
+// acquire takes a reference, failing when the count has already drained to
+// zero (the engine is closed or closing). A failure is only possible after
+// the generation has been unpublished, so callers just reload the pointer.
+func (eg *engineGen) acquire() bool {
+	for {
+		n := eg.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if eg.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference, closing the engine when the count reaches
+// zero. Safe to call from any goroutine; exactly one caller observes zero.
+func (eg *engineGen) release() {
+	if eg.refs.Add(-1) == 0 {
+		_ = eg.eng.Close()
+	}
 }
 
 // Server serves query-by-example requests over one immutable engine (per
@@ -315,7 +347,9 @@ func New(eng *gqbe.Engine, cfg Config) *Server {
 		explainNodeEvalCap: defaultExplainMaxNodeEvals,
 		explainSpanCap:     defaultExplainMaxSpans,
 	}
-	s.engp.Store(&engineGen{eng: eng, gen: 1})
+	first := &engineGen{eng: eng, gen: 1}
+	first.refs.Store(1) // publish reference
+	s.engp.Store(first)
 	if s.cache != nil && cfg.StaleTTL > 0 {
 		s.cache.softTTL = cfg.StaleTTL
 	}
@@ -332,9 +366,25 @@ func New(eng *gqbe.Engine, cfg Config) *Server {
 	return s
 }
 
-// engine returns the current engine generation. Request handlers call it
-// once at entry; everything downstream receives the captured *engineGen.
+// engine peeks at the current engine generation without taking a
+// reference — safe only for reading gen. Request handlers that touch the
+// engine use acquireEngine instead.
 func (s *Server) engine() *engineGen { return s.engp.Load() }
+
+// acquireEngine returns the current generation with a reference held; the
+// caller must release() it when done with the engine (typically deferred
+// for the whole request). Acquisition can only fail in the instant between
+// a reload unpublishing a generation and this goroutine reloading the
+// pointer, so the loop terminates after at most one extra load per
+// concurrent reload.
+func (s *Server) acquireEngine() *engineGen {
+	for {
+		eg := s.engp.Load()
+		if eg.acquire() {
+			return eg
+		}
+	}
+}
 
 // nextRequestID mints the request ID echoed in the X-Request-ID header and
 // carried by every structured log record for the request.
@@ -613,7 +663,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	// Resolve entity names before admission: an unknown name is answerable
 	// in microseconds, so it must not take a worker slot nor be recorded as
 	// a search latency (which would drag the /statz percentiles toward 0).
@@ -1172,7 +1223,9 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "missing or malformed entity name")
 		return
 	}
-	if !s.engine().eng.HasEntity(name) {
+	eg := s.acquireEngine()
+	defer eg.release()
+	if !eg.eng.HasEntity(name) {
 		writeError(w, http.StatusNotFound, "unknown_entity", fmt.Sprintf("unknown entity %q", name))
 		return
 	}
@@ -1185,7 +1238,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"entities":   eg.eng.NumEntities(),
@@ -1200,16 +1254,19 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	eg := s.engine()
+	eg := s.acquireEngine()
+	defer eg.release()
 	info := eg.eng.BuildInfo()
 	snap := s.met.snapshot(s.cache, s.adm, statzEngine{
 		Entities:   eg.eng.NumEntities(),
 		Facts:      eg.eng.NumFacts(),
 		Predicates: eg.eng.NumPredicates(),
 	}, statzBuild{
-		BuildMS:  float64(info.BuildTime) / float64(time.Millisecond),
-		Shards:   info.Shards,
-		Snapshot: info.FromSnapshot,
+		BuildMS:     float64(info.BuildTime) / float64(time.Millisecond),
+		Shards:      info.Shards,
+		Snapshot:    info.FromSnapshot,
+		Mapped:      info.Mapped,
+		MappedBytes: info.MappedBytes,
 	}, statzSearch{
 		Workers: s.cfg.SearchWorkers,
 	}, fault.Injected(), eg.gen)

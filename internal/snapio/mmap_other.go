@@ -1,0 +1,15 @@
+//go:build !(linux || darwin)
+
+package snapio
+
+import "os"
+
+// mapFile reports mmap as unsupported; OpenMap surfaces ErrMapUnsupported
+// and callers fall back to the portable heap-decoding loader.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return nil, ErrMapUnsupported
+}
+
+func unmapFile(data []byte) error { return nil }
+
+func adviseWillNeed(data []byte) error { return nil }

@@ -1,0 +1,28 @@
+//go:build linux || darwin
+
+package snapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. MAP_SHARED so every process
+// mapping the same snapshot shares one set of page-cache pages.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// adviseWillNeed issues madvise(WILLNEED) over data; the caller passes a
+// page-aligned base (see Map.Advise).
+func adviseWillNeed(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_WILLNEED)
+}

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"io"
 	"strings"
+	"unsafe"
 
 	"gqbe/internal/fault"
 )
@@ -72,6 +73,7 @@ const chunkBytes = 1 << 16
 type Writer struct {
 	w   io.Writer
 	crc hash.Hash32
+	n   int64 // hashed bytes written; drives Align4
 	buf [chunkBytes]byte
 	err error
 }
@@ -101,6 +103,22 @@ func (w *Writer) write(p []byte) {
 		return
 	}
 	w.crc.Write(p)
+	w.n += int64(len(p))
+}
+
+// Pos returns the number of hashed bytes written so far — the stream
+// offset Align4 pads against.
+func (w *Writer) Pos() int64 { return w.n }
+
+// Align4 zero-pads the stream to the next 4-byte boundary. Writers call it
+// after every byte blob so that every subsequent fixed-width column starts
+// 4-aligned — the layout guarantee the zero-copy mapped reader's []int32
+// casts rely on.
+func (w *Writer) Align4() {
+	if pad := int(-w.n & 3); pad != 0 {
+		var zero [3]byte
+		w.write(zero[:pad])
+	}
 }
 
 // Raw writes p verbatim (hashed) — file magic and other fixed framing.
@@ -246,6 +264,7 @@ func (c *ColWriter) Close() error {
 type Reader struct {
 	r   io.Reader
 	crc hash.Hash32
+	n   int64 // hashed bytes consumed; drives Align4
 	buf [chunkBytes]byte
 	err error
 }
@@ -304,7 +323,35 @@ func (r *Reader) readFull(p []byte) bool {
 		p[0] ^= 0x01
 	}
 	r.crc.Write(p)
+	r.n += int64(len(p))
 	return true
+}
+
+// Pos returns the number of hashed bytes consumed so far — the stream
+// offset Align4 pads against.
+func (r *Reader) Pos() int64 { return r.n }
+
+// Borrowed reports whether values handed out alias the underlying input.
+// The heap Reader always decodes into owned memory.
+func (r *Reader) Borrowed() bool { return false }
+
+// Align4 consumes the zero padding a Writer.Align4 emitted at the same
+// stream offset, failing with ErrCorrupt on nonzero pad bytes.
+func (r *Reader) Align4() {
+	pad := int(-r.n & 3)
+	if pad == 0 {
+		return
+	}
+	var b [3]byte
+	if !r.readFull(b[:pad]) {
+		return
+	}
+	for _, c := range b[:pad] {
+		if c != 0 {
+			r.fail(fmt.Errorf("%w: nonzero alignment padding", ErrCorrupt))
+			return
+		}
+	}
 }
 
 // Raw reads len(p) bytes verbatim (hashed) — file magic and other fixed
@@ -391,24 +438,72 @@ func (r *Reader) String() string {
 	return b.String()
 }
 
-// ReadI32Col reads a length-prefixed flat column written by I32Col. The
+// i32col decodes an n-element column into owned heap memory. The
 // destination grows chunk by chunk as data arrives (see
 // speculativeAllocCap), so a corrupt length prefix costs a typed error,
 // not a giant allocation.
-func ReadI32Col[T ~int32](r *Reader) []T {
-	n := r.Len()
-	if r.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]T, 0, min(n, speculativeAllocCap))
+func (r *Reader) i32col(n int) []int32 {
+	out := make([]int32, 0, min(n, speculativeAllocCap))
 	for len(out) < n {
 		c := min(n-len(out), chunkBytes/4)
 		if !r.readFull(r.buf[:4*c]) {
 			return nil
 		}
 		for j := 0; j < c; j++ {
-			out = append(out, T(binary.LittleEndian.Uint32(r.buf[4*j:])))
+			out = append(out, int32(binary.LittleEndian.Uint32(r.buf[4*j:])))
 		}
 	}
 	return out
+}
+
+// Source is the read-side abstraction the section decoders (internal/graph,
+// internal/storage) consume: either a heap-decoding Reader or a zero-copy
+// ViewReader over a mapped snapshot. The unexported column hook keeps the
+// set of implementations closed to this package — the decoders' validation
+// assumptions (Borrowed, alignment) are part of the contract.
+type Source interface {
+	// U32 reads a little-endian uint32.
+	U32() uint32
+	// U64 reads a little-endian uint64.
+	U64() uint64
+	// I32 reads a little-endian int32.
+	I32() int32
+	// Len reads a length prefix, failing with ErrCorrupt past MaxElems.
+	Len() int
+	// String reads a length-prefixed string (possibly aliasing the input —
+	// see Borrowed).
+	String() string
+	// Align4 consumes the zero padding up to the next 4-byte boundary.
+	Align4()
+	// Pos returns the stream offset in bytes.
+	Pos() int64
+	// Err returns the first error encountered, or nil.
+	Err() error
+	// Fail records a structural error discovered by the caller.
+	Fail(err error)
+	// Borrowed reports whether returned strings and columns alias the
+	// underlying input (and must not outlive or mutate it) rather than
+	// being owned heap copies.
+	Borrowed() bool
+
+	// i32col returns the next n column elements, owned or borrowed.
+	i32col(n int) []int32
+}
+
+// ReadI32Col reads a length-prefixed flat column written by I32Col, as any
+// int32-typed element (graph.NodeID, graph.LabelID, int32 offsets). From a
+// heap Reader the column is decoded into owned memory; from a ViewReader it
+// is a zero-copy view of the input.
+func ReadI32Col[T ~int32](r Source) []T {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	xs := r.i32col(n)
+	if xs == nil {
+		return nil
+	}
+	// []int32 and []T share layout exactly (T ~int32); reinterpreting the
+	// header avoids an O(n) copy per column on both read paths.
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(xs))), len(xs))
 }

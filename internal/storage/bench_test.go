@@ -72,7 +72,7 @@ func BenchmarkStoreProbe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for l := 0; l < g.NumLabels(); l++ {
 			t := s.MustTable(graph.LabelID(l))
-			for _, p := range t.Pairs() {
+			for _, p := range allPairs(t) {
 				sink += len(t.Objects(p.Subj))
 				sink += len(t.Subjects(p.Obj))
 				if t.Has(p.Subj, p.Obj) {

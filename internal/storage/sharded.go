@@ -82,8 +82,8 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 			defer wg.Done()
 			c := make([]int32, numLabels)
 			for v := lo; v < hi; v++ {
-				for _, a := range g.OutArcs(graph.NodeID(v)) {
-					c[a.Label]++
+				for _, l := range g.OutArcs(graph.NodeID(v)).Labels {
+					c[l]++
 				}
 			}
 			counts[w] = c
@@ -91,8 +91,8 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 	}
 	wg.Wait()
 
-	// Prefix sums: cursor[w][l] is worker w's first write index into table
-	// l's pair slice; the per-label total sizes the slice exactly.
+	// Prefix sums: cursor[w][l] is worker w's first write index into label
+	// l's scratch pair slice; the per-label total sizes the slice exactly.
 	cursors := make([][]int32, len(ranges))
 	next := make([]int32, numLabels)
 	for w := range ranges {
@@ -103,9 +103,10 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 			next[l] += counts[w][l]
 		}
 	}
+	scratch := make([][]Pair, numLabels)
 	for l := 0; l < numLabels; l++ {
 		if next[l] > 0 {
-			s.tables[l].pairs = make([]Pair, next[l])
+			scratch[l] = make([]Pair, next[l])
 		}
 	}
 
@@ -118,9 +119,11 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 			cur := cursors[w]
 			for v := lo; v < hi; v++ {
 				src := graph.NodeID(v)
-				for _, a := range g.OutArcs(src) {
-					s.tables[a.Label].pairs[cur[a.Label]] = Pair{Subj: src, Obj: a.Node}
-					cur[a.Label]++
+				arcs := g.OutArcs(src)
+				for i, dst := range arcs.Nodes {
+					l := arcs.Labels[i]
+					scratch[l][cur[l]] = Pair{Subj: src, Obj: dst}
+					cur[l]++
 				}
 			}
 		}(w, r[0], r[1])
@@ -134,7 +137,7 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return len(s.tables[order[i]].pairs) > len(s.tables[order[j]].pairs)
+		return len(scratch[order[i]]) > len(scratch[order[j]])
 	})
 	work := make(chan int, numLabels)
 	for _, l := range order {
@@ -146,7 +149,8 @@ func BuildSharded(g *graph.Graph, shards int) *Store {
 		go func() {
 			defer wg.Done()
 			for l := range work {
-				s.tables[l].buildIndexes()
+				s.tables[l].buildIndexes(scratch[l])
+				scratch[l] = nil // release AoS scratch as each table lands
 			}
 		}()
 	}

@@ -68,7 +68,7 @@ func TestBuildShardedProbeOracle(t *testing.T) {
 	s := BuildSharded(g, 8)
 	for l := 0; l < g.NumLabels(); l++ {
 		tab := s.MustTable(graph.LabelID(l))
-		for _, p := range tab.Pairs() {
+		for _, p := range allPairs(tab) {
 			if !g.HasEdge(graph.Edge{Src: p.Subj, Label: graph.LabelID(l), Dst: p.Obj}) {
 				t.Fatalf("sharded store invented edge (%d,%d,%d)", p.Subj, l, p.Obj)
 			}

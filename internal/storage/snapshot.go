@@ -13,13 +13,19 @@
 //	                         the pair object column on load
 //	  i32col subjCol       — mirror posting payload ((obj, subj) order)
 //	  [dense subj]  i32 subjBase, i32col subjOff
-//	  [sparse subj] i32col subjKeys
 //	  [dense obj]   i32 objBase,  i32col objOff
 //	  [sparse obj]  i32col objKeys
 //
 // The dense/sparse decision is data-dependent (see dense()); persisting it
 // via the flags byte means the loaded store probes identically to the built
 // one even if the heuristic constants change between binaries.
+//
+// A sparse subject direction stores no keys column at all: its bisection
+// keys are definitionally the pairSubj column (same values, same order), so
+// the loader aliases that instead — one column fewer on disk and in memory.
+// Every value here is a 4-byte unit, so with the section 4-aligned at its
+// start (internal/core frames it that way) each column is castable in place
+// by the zero-copy mapped reader.
 package storage
 
 import (
@@ -47,20 +53,12 @@ func (s *Store) AppendSnapshot(w *snapio.Writer) error {
 			flags |= flagObjDense
 		}
 		w.U32(flags)
-		c := w.StartI32Col(len(t.pairs))
-		for _, p := range t.pairs {
-			c.Add(int32(p.Subj))
-		}
-		if c.Close() != nil {
-			return w.Err()
-		}
+		snapio.I32Col(w, t.pairSubj)
 		snapio.I32Col(w, t.objCol)
 		snapio.I32Col(w, t.subjCol)
 		if t.subjOff != nil {
 			w.I32(int32(t.subjBase))
 			snapio.I32Col(w, t.subjOff)
-		} else {
-			snapio.I32Col(w, t.subjKeys)
 		}
 		if t.objOff != nil {
 			w.I32(int32(t.objBase))
@@ -73,9 +71,9 @@ func (s *Store) AppendSnapshot(w *snapio.Writer) error {
 }
 
 // ReadSnapshot reads a snapshot section written by AppendSnapshot. The
-// columns land directly in the table slices; no sorting or index
-// construction runs.
-func ReadSnapshot(r *snapio.Reader) (*Store, error) {
+// columns land directly in the table slices — borrowed views when the
+// source is a mapped snapshot — and no sorting or index construction runs.
+func ReadSnapshot(r snapio.Source) (*Store, error) {
 	numLabels := int(r.U32())
 	numEdges := r.U64()
 	if r.Err() != nil {
@@ -96,14 +94,14 @@ func ReadSnapshot(r *snapio.Reader) (*Store, error) {
 			return nil, r.Err()
 		}
 		t := &Table{label: graph.LabelID(l)}
-		pairSubj := snapio.ReadI32Col[graph.NodeID](r)
+		t.pairSubj = snapio.ReadI32Col[graph.NodeID](r)
 		t.objCol = snapio.ReadI32Col[graph.NodeID](r)
 		t.subjCol = snapio.ReadI32Col[graph.NodeID](r)
 		if flags&flagSubjDense != 0 {
 			t.subjBase = graph.NodeID(r.I32())
 			t.subjOff = snapio.ReadI32Col[int32](r)
 		} else {
-			t.subjKeys = snapio.ReadI32Col[graph.NodeID](r)
+			t.subjKeys = t.pairSubj // sparse keys are the row subject column
 		}
 		if flags&flagObjDense != 0 {
 			t.objBase = graph.NodeID(r.I32())
@@ -114,16 +112,10 @@ func ReadSnapshot(r *snapio.Reader) (*Store, error) {
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
-		if len(t.objCol) != len(pairSubj) || len(t.subjCol) != len(pairSubj) {
+		if len(t.objCol) != len(t.pairSubj) || len(t.subjCol) != len(t.pairSubj) {
 			return nil, fmt.Errorf("%w: table %d column shape mismatch", snapio.ErrCorrupt, l)
 		}
-		if len(pairSubj) > 0 {
-			t.pairs = make([]Pair, len(pairSubj))
-			for i := range pairSubj {
-				t.pairs[i] = Pair{Subj: pairSubj[i], Obj: t.objCol[i]}
-			}
-		}
-		total += len(t.pairs)
+		total += t.Len()
 		s.tables[l] = t
 	}
 	if total != s.numEdges {

@@ -41,15 +41,18 @@ const (
 )
 
 // Table holds all edges of a single label, with CSR-style indexes on both
-// columns.
+// columns. Storage is fully columnar — flat []NodeID / []int32 slices with
+// no array-of-structs anywhere — so a snapshot load can hand the table
+// borrowed zero-copy views of an mmap'd file in place of owned heap slices.
 type Table struct {
 	label graph.LabelID
-	pairs []Pair // sorted by (subj, obj)
 
-	// Forward index: objCol[i] is pairs[i].Obj. With dense offsets the
+	// Row storage, sorted by (subj, obj): pairSubj[i]/objCol[i] are row i.
+	// objCol doubles as the forward posting payload: with dense offsets the
 	// objects of s are objCol[subjOff[s-subjBase]:subjOff[s-subjBase+1]];
-	// without, the run is found by bisecting subjKeys (the subj column of
-	// pairs).
+	// without, the run is found by bisecting subjKeys (which aliases
+	// pairSubj — same column, same order).
+	pairSubj []graph.NodeID
 	objCol   []graph.NodeID
 	subjOff  []int32        // nil when the direction is sparse
 	subjBase graph.NodeID   // smallest subject; offsets are based at it
@@ -66,11 +69,16 @@ type Table struct {
 func (t *Table) Label() graph.LabelID { return t.label }
 
 // Len returns the number of rows (edges) in the table.
-func (t *Table) Len() int { return len(t.pairs) }
+func (t *Table) Len() int { return len(t.pairSubj) }
 
-// Pairs returns all rows, sorted by (subj, obj). The slice is owned by the
-// table; do not modify.
-func (t *Table) Pairs() []Pair { return t.pairs }
+// PairAt returns row i, in (subj, obj) order. For bulk scans PairCols
+// avoids the per-row struct assembly.
+func (t *Table) PairAt(i int) Pair { return Pair{Subj: t.pairSubj[i], Obj: t.objCol[i]} }
+
+// PairCols returns the row storage as parallel columns sorted by
+// (subj, obj): subj[i] and obj[i] together are row i. The slices are owned
+// by the table (possibly by a read-only snapshot mapping); do not modify.
+func (t *Table) PairCols() (subj, obj []graph.NodeID) { return t.pairSubj, t.objCol }
 
 // lowerBound returns the first index of keys not below k.
 //
@@ -186,54 +194,57 @@ func Build(g *graph.Graph) *Store {
 	for l := 0; l < g.NumLabels(); l++ {
 		s.tables[l] = &Table{label: graph.LabelID(l)}
 	}
+	scratch := make([][]Pair, g.NumLabels())
 	g.Edges(func(e graph.Edge) bool {
-		t := s.tables[e.Label]
-		t.pairs = append(t.pairs, Pair{Subj: e.Src, Obj: e.Dst})
+		scratch[e.Label] = append(scratch[e.Label], Pair{Subj: e.Src, Obj: e.Dst})
 		return true
 	})
-	for _, t := range s.tables {
-		t.buildIndexes()
+	for l, t := range s.tables {
+		t.buildIndexes(scratch[l])
+		scratch[l] = nil // release the AoS scratch as each table lands
 	}
 	return s
 }
 
-// buildIndexes sorts the pair list and derives both column indexes from it.
-// Rows and postings end up in the same deterministic ascending order the
+// buildIndexes sorts the scratch pair list and derives the columnar row
+// storage plus both indexes from it; the scratch is dead afterwards. Rows
+// and postings end up in the same deterministic ascending order the
 // previous hash-index layout sorted into.
-func (t *Table) buildIndexes() {
-	if len(t.pairs) == 0 {
+func (t *Table) buildIndexes(pairs []Pair) {
+	if len(pairs) == 0 {
 		return
 	}
-	sort.Slice(t.pairs, func(i, j int) bool {
-		if t.pairs[i].Subj != t.pairs[j].Subj {
-			return t.pairs[i].Subj < t.pairs[j].Subj
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Subj != pairs[j].Subj {
+			return pairs[i].Subj < pairs[j].Subj
 		}
-		return t.pairs[i].Obj < t.pairs[j].Obj
+		return pairs[i].Obj < pairs[j].Obj
 	})
-	mirror := make([]Pair, len(t.pairs))
-	copy(mirror, t.pairs)
+	mirror := make([]Pair, len(pairs))
+	copy(mirror, pairs)
 	sort.Slice(mirror, func(i, j int) bool {
 		if mirror[i].Obj != mirror[j].Obj {
 			return mirror[i].Obj < mirror[j].Obj
 		}
 		return mirror[i].Subj < mirror[j].Subj
 	})
-	t.objCol = make([]graph.NodeID, len(t.pairs))
-	t.subjCol = make([]graph.NodeID, len(t.pairs))
-	for i, p := range t.pairs {
+	t.pairSubj = make([]graph.NodeID, len(pairs))
+	t.objCol = make([]graph.NodeID, len(pairs))
+	t.subjCol = make([]graph.NodeID, len(pairs))
+	for i, p := range pairs {
+		t.pairSubj[i] = p.Subj
 		t.objCol[i] = p.Obj
 		t.subjCol[i] = mirror[i].Subj
 	}
-	minSubj, maxSubj := t.pairs[0].Subj, t.pairs[len(t.pairs)-1].Subj
+	minSubj, maxSubj := pairs[0].Subj, pairs[len(pairs)-1].Subj
 	minObj, maxObj := mirror[0].Obj, mirror[len(mirror)-1].Obj
-	if dense(int(maxSubj)-int(minSubj), len(t.pairs)) {
+	if dense(int(maxSubj)-int(minSubj), len(pairs)) {
 		t.subjBase = minSubj
-		t.subjOff = offsets(minSubj, maxSubj, t.pairs, func(p Pair) graph.NodeID { return p.Subj })
+		t.subjOff = offsets(minSubj, maxSubj, pairs, func(p Pair) graph.NodeID { return p.Subj })
 	} else {
-		t.subjKeys = make([]graph.NodeID, len(t.pairs))
-		for i, p := range t.pairs {
-			t.subjKeys[i] = p.Subj
-		}
+		// The sparse bisection keys for the subject direction are exactly
+		// the row subject column; alias it instead of copying.
+		t.subjKeys = t.pairSubj
 	}
 	if dense(int(maxObj)-int(minObj), len(mirror)) {
 		t.objBase = minObj

@@ -116,7 +116,7 @@ func TestPairsSorted(t *testing.T) {
 	s := Build(g)
 	for l := 0; l < g.NumLabels(); l++ {
 		tab := s.MustTable(graph.LabelID(l))
-		ps := tab.Pairs()
+		ps := allPairs(tab)
 		for i := 1; i < len(ps); i++ {
 			a, b := ps[i-1], ps[i]
 			if a.Subj > b.Subj || (a.Subj == b.Subj && a.Obj > b.Obj) {
@@ -168,7 +168,7 @@ func TestQuickIndexesConsistent(t *testing.T) {
 		total := 0
 		for l := 0; l < g.NumLabels(); l++ {
 			tab := s.MustTable(graph.LabelID(l))
-			for _, p := range tab.Pairs() {
+			for _, p := range allPairs(tab) {
 				if !g.HasEdge(graph.Edge{Src: p.Subj, Label: graph.LabelID(l), Dst: p.Obj}) {
 					return false
 				}
@@ -321,7 +321,7 @@ func TestSparseAndDenseAgree(t *testing.T) {
 		tab := s.MustTable(l)
 		oracleOut := make(map[graph.NodeID][]graph.NodeID)
 		oracleIn := make(map[graph.NodeID][]graph.NodeID)
-		for _, p := range tab.Pairs() {
+		for _, p := range allPairs(tab) {
 			oracleOut[p.Subj] = append(oracleOut[p.Subj], p.Obj)
 			oracleIn[p.Obj] = append(oracleIn[p.Obj], p.Subj)
 		}
@@ -334,4 +334,15 @@ func TestSparseAndDenseAgree(t *testing.T) {
 			}
 		}
 	}
+}
+
+// allPairs materializes a table's rows for oracle-style sweeps. The shipped
+// Table is columnar (PairCols/PairAt) precisely so it can borrow mapped
+// memory; tests still want the row view.
+func allPairs(t *Table) []Pair {
+	ps := make([]Pair, t.Len())
+	for i := range ps {
+		ps[i] = t.PairAt(i)
+	}
+	return ps
 }

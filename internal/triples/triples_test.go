@@ -76,7 +76,7 @@ func TestLoadGraph(t *testing.T) {
 		t.Errorf("loaded %v, want %v", g, want)
 	}
 	jy := g.MustNode("Jerry Yang")
-	if got := len(g.OutArcs(jy)); got != 4 {
+	if got := g.OutArcs(jy).Len(); got != 4 {
 		t.Errorf("Jerry Yang out-degree = %d, want 4", got)
 	}
 }

@@ -6,6 +6,8 @@
 package gqbe
 
 import (
+	"strings"
+
 	"gqbe/internal/graph"
 	"gqbe/internal/mqg"
 	"gqbe/internal/obs"
@@ -67,9 +69,18 @@ type MQGInfo struct {
 
 // mqgInfo renders the internal MQG for the public Result: nodes indexed by
 // first appearance over the edge list (a deterministic order), names
-// resolved against the data graph.
+// resolved against the data graph. For mapped engines the graph's strings
+// alias the snapshot mapping, so they are cloned — the rendering outlives
+// the request and must survive a hot reload unmapping the old generation.
 func (e *Engine) mqgInfo(m *mqg.MQG) *MQGInfo {
 	g := e.eng.Graph()
+	borrowed := g.Borrowed()
+	clone := func(s string) string {
+		if borrowed {
+			return strings.Clone(s)
+		}
+		return s
+	}
 	inTuple := make(map[graph.NodeID]bool, len(m.Tuple))
 	for _, v := range m.Tuple {
 		inTuple[v] = true
@@ -83,7 +94,7 @@ func (e *Engine) mqgInfo(m *mqg.MQG) *MQGInfo {
 		i := len(info.Nodes)
 		index[v] = i
 		info.Nodes = append(info.Nodes, MQGNode{
-			Name:    mqg.NodeName(g, v),
+			Name:    clone(mqg.NodeName(g, v)),
 			Virtual: mqg.IsVirtual(v),
 			Entity:  inTuple[v],
 		})
@@ -97,7 +108,7 @@ func (e *Engine) mqgInfo(m *mqg.MQG) *MQGInfo {
 		info.Edges = append(info.Edges, MQGEdge{
 			Src:    nodeIdx(ed.Src),
 			Dst:    nodeIdx(ed.Dst),
-			Label:  g.LabelName(ed.Label),
+			Label:  clone(g.LabelName(ed.Label)),
 			Weight: w,
 		})
 	}
