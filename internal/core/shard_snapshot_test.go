@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gqbe/internal/kgsynth"
+	"gqbe/internal/snapio"
+	"gqbe/internal/topk"
+)
+
+func TestWithShardValidation(t *testing.T) {
+	eng, _ := snapshotEngine(t)
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {7, 4}} {
+		if _, err := eng.WithShard(bad[0], bad[1]); err == nil {
+			t.Errorf("WithShard(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+	// count <= 1 normalizes to unsharded, whatever the index says.
+	s, err := eng.WithShard(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, n := s.Shard(); i != 0 || n != 0 {
+		t.Errorf("WithShard(3, 1) identity = %d/%d, want unsharded", i, n)
+	}
+	s, err = eng.WithShard(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, n := s.Shard(); i != 1 || n != 4 {
+		t.Errorf("Shard() = %d/%d, want 1/4", i, n)
+	}
+	if i, n := eng.Shard(); i != 0 || n != 0 {
+		t.Errorf("WithShard mutated the receiver: %d/%d", i, n)
+	}
+}
+
+// TestShardQueryPartition: per-shard engine copies partition the unsharded
+// answer list, and the (Score desc, tie asc) merge reconstructs it exactly —
+// the engine-level restatement of the topk shard oracle.
+func TestShardQueryPartition(t *testing.T) {
+	ds := kgsynth.Freebase(kgsynth.Config{Seed: 42})
+	eng := NewEngine(ds.Graph)
+	tuple, err := ds.Tuple(ds.MustQuery("F1").QueryTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.QueryCtx(context.Background(), tuple, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var merged []topk.Answer
+	for i := 0; i < n; i++ {
+		sh, err := eng.WithShard(i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sh.QueryCtx(context.Background(), tuple, Options{K: 10})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if got.Stats.Stopped != want.Stats.Stopped || got.Stats.NodesEvaluated != want.Stats.NodesEvaluated {
+			t.Errorf("shard %d trajectory differs: %+v", i, got.Stats)
+		}
+		merged = append(merged, got.Answers...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return topk.TupleKey(merged[i].Tuple) < topk.TupleKey(merged[j].Tuple)
+	})
+	if len(merged) > 10 {
+		merged = merged[:10]
+	}
+	if !reflect.DeepEqual(merged, want.Answers) {
+		t.Errorf("merged shard answers differ from unsharded:\n want %+v\n got  %+v", want.Answers, merged)
+	}
+}
+
+// TestShardSnapshotRoundTrip: a shard engine snapshots as format v3 carrying
+// its identity; both loaders adopt it; an unsharded engine still writes v2
+// byte for byte.
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	eng, raw := snapshotEngine(t)
+	if v := raw[8]; v != SnapshotVersion {
+		t.Fatalf("unsharded snapshot version = %d, want %d", v, SnapshotVersion)
+	}
+	sh, err := eng.WithShard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sh.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[8]; v != SnapshotVersionShard {
+		t.Fatalf("shard snapshot version = %d, want %d", v, SnapshotVersionShard)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if i, n := loaded.Shard(); i != 1 || n != 2 {
+		t.Errorf("loaded identity = %d/%d, want 1/2", i, n)
+	}
+	// The mapped loader adopts the identity too.
+	path := filepath.Join(t.TempDir(), "shard-1.snap")
+	if err := sh.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotMapped: %v", err)
+	}
+	defer mapped.Close()
+	if i, n := mapped.Shard(); i != 1 || n != 2 {
+		t.Errorf("mapped identity = %d/%d, want 1/2", i, n)
+	}
+	// Re-snapshotting the unsharded copy reproduces the v2 bytes exactly —
+	// sharding must not perturb existing snapshot files.
+	var again bytes.Buffer
+	if err := eng.WriteSnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw) {
+		t.Error("unsharded snapshot bytes changed")
+	}
+}
+
+// TestShardSnapshotRejectsBadIdentity: a shard section with an out-of-range
+// identity is corruption, not configuration.
+func TestShardSnapshotRejectsBadIdentity(t *testing.T) {
+	eng, _ := snapshotEngine(t)
+	bad := *eng
+	bad.shardIndex, bad.shardCount = 5, 2 // bypass WithShard's validation
+	var buf bytes.Buffer
+	if err := bad.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapio.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

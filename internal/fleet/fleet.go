@@ -1,0 +1,151 @@
+// Package fleet defines the manifest a sharded gqbed deployment is described
+// by: cmd/kgshard writes one next to the per-shard snapshots it cuts, and
+// cmd/gqberouter (or an operator) reads it to know how many shards exist,
+// which assignment scheme partitioned the answer space, and what CRC each
+// shard file must carry. The manifest is deliberately tiny and JSON — it is
+// the deployment's source of truth, meant to be diffed, checked into config
+// repos, and read by humans during incidents.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gqbe/internal/snapio"
+	"gqbe/internal/topk"
+)
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// Shard describes one shard of the fleet.
+type Shard struct {
+	// Index is the shard's answer-space index in [0, len(Shards)).
+	Index int `json:"index"`
+	// Path is the shard's snapshot file, relative to the manifest's
+	// directory (kgshard writes them side by side).
+	Path string `json:"path"`
+	// CRC32C is the snapshot's recorded checksum trailer in hex — the same
+	// value the engine loaders verify — so an operator can confirm a
+	// deployed file matches the manifest without loading it.
+	CRC32C string `json:"crc32c"`
+	// Entities/Facts record the graph shape for quick sanity checks; every
+	// shard of a fleet holds the full graph (answer-space sharding), so
+	// these match across shards.
+	Entities int `json:"entities"`
+	Facts    int `json:"facts"`
+}
+
+// Manifest describes a complete fleet: how the answer space was partitioned
+// and the per-shard snapshot files.
+type Manifest struct {
+	Version int `json:"version"`
+	// Scheme names the entity→shard assignment (topk.ShardScheme). Loaders
+	// refuse any other value: merging rankings partitioned under different
+	// rules would silently lose answers.
+	Scheme string  `json:"scheme"`
+	Shards []Shard `json:"shards"`
+}
+
+// New assembles a manifest over the given snapshot paths (index order),
+// reading each file's recorded CRC trailer. entities/facts describe the
+// (shared) graph shape.
+func New(paths []string, entities, facts int) (*Manifest, error) {
+	m := &Manifest{Version: ManifestVersion, Scheme: topk.ShardScheme}
+	for i, p := range paths {
+		_, want, err := snapio.ChecksumFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		m.Shards = append(m.Shards, Shard{
+			Index:    i,
+			Path:     filepath.Base(p),
+			CRC32C:   fmt.Sprintf("%08x", want),
+			Entities: entities,
+			Facts:    facts,
+		})
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("fleet: manifest is v%d, this binary reads v%d", m.Version, ManifestVersion)
+	}
+	if m.Scheme != topk.ShardScheme {
+		return fmt.Errorf("fleet: manifest scheme %q, this binary merges %q", m.Scheme, topk.ShardScheme)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("fleet: manifest has no shards")
+	}
+	for i, s := range m.Shards {
+		if s.Index != i {
+			return fmt.Errorf("fleet: shard at position %d has index %d (must be dense, ascending)", i, s.Index)
+		}
+		if s.Path == "" {
+			return fmt.Errorf("fleet: shard %d has no path", i)
+		}
+	}
+	return nil
+}
+
+// Write serializes the manifest to path atomically (temp file in the target
+// directory, fsync, rename) with deterministic, human-diffable formatting:
+// the same fleet always produces byte-identical manifest files.
+func (m *Manifest) Write(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if err := f.Chmod(0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a manifest file.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fleet: parsing %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	return &m, nil
+}

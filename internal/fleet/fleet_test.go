@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gqbe/internal/topk"
+)
+
+func sample() *Manifest {
+	return &Manifest{
+		Version: ManifestVersion,
+		Scheme:  topk.ShardScheme,
+		Shards: []Shard{
+			{Index: 0, Path: "shard-0.snap", CRC32C: "deadbeef", Entities: 10, Facts: 20},
+			{Index: 1, Path: "shard-1.snap", CRC32C: "cafef00d", Entities: 10, Facts: 20},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	m := sample()
+	if err := m.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Scheme != topk.ShardScheme || len(got.Shards) != 2 || got.Shards[1].CRC32C != "cafef00d" {
+		t.Errorf("loaded manifest = %+v", got)
+	}
+	// Deterministic bytes: writing the same manifest twice is a no-op diff.
+	a, _ := os.ReadFile(path)
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if !bytes.Equal(a, b) {
+		t.Error("manifest bytes not deterministic")
+	}
+	// Atomic write leaves no temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	for name, mutate := range map[string]func(*Manifest){
+		"bad-version":    func(m *Manifest) { m.Version = 9 },
+		"bad-scheme":     func(m *Manifest) { m.Scheme = "md5/whole-tuple" },
+		"no-shards":      func(m *Manifest) { m.Shards = nil },
+		"sparse-indexes": func(m *Manifest) { m.Shards[1].Index = 5 },
+		"empty-path":     func(m *Manifest) { m.Shards[0].Path = "" },
+	} {
+		m := sample()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, m)
+		}
+	}
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage manifest loaded cleanly")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing manifest loaded cleanly")
+	}
+}

@@ -1,0 +1,228 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+
+	"gqbe/internal/server"
+)
+
+// handleBatch is POST /v1/query:batch at the fleet level. The whole envelope
+// is forwarded to every shard — each shard runs its own per-item dedup,
+// cache, and concurrency bounding over the identical item list, so the
+// per-item flags (deduped) come back identical from every shard — and the
+// per-item results are merged exactly like /v1/query responses: answers
+// concatenated and re-sorted under (score desc, tie asc), stats from the
+// lowest-index responding shard with timings maxed, browned-out OR'd.
+//
+// Degradation is per item, same contract as /v1/query: a shard failure marks
+// every item of the envelope partial (with the shard named) rather than
+// failing the batch; only an envelope no shard answered becomes an error.
+// The router's own result cache is not consulted for batch items (the shards'
+// caches are); this trades a fleet-level optimization for exact parity with
+// shard-side dedup semantics.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		server.WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	rt.met.batchRequests.Add(1)
+	rt.met.inFlight.Add(1)
+	defer rt.met.inFlight.Add(-1)
+	reqID := rt.requestID(r)
+	w.Header().Set("X-Request-ID", reqID)
+	defer func() {
+		if p := recover(); p != nil {
+			rt.cfg.Logger.Error("panic routing batch",
+				"request_id", reqID, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			rt.met.recoveredPanics.Add(1)
+			server.WriteError(w, http.StatusInternalServerError, "internal", "internal router error")
+		}
+	}()
+
+	var req server.BatchRequest
+	if !server.DecodeBody(w, r, server.MaxBatchBodyBytes, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		server.WriteError(w, http.StatusBadRequest, "bad_request", `"queries" must contain at least one query`)
+		return
+	}
+	if len(req.Queries) > rt.cfg.MaxBatchItems {
+		server.WriteError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("at most %d queries per batch (got %d)", rt.cfg.MaxBatchItems, len(req.Queries)))
+		return
+	}
+	// Each accepted item is a query request for accounting, landing in
+	// exactly one outcome counter below — the same /statz invariant the
+	// shard daemons keep.
+	rt.met.batchItems.Add(uint64(len(req.Queries)))
+	rt.met.requests.Add(uint64(len(req.Queries)))
+
+	// Pre-normalize items router-side only to learn each item's effective k
+	// (the merge cut). Invalid items keep k = -1; their per-item errors come
+	// back from the shards, which run the identical validation.
+	ks := make([]int, len(req.Queries))
+	for i, raw := range req.Queries {
+		ks[i] = -1
+		var q server.QueryRequest
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			continue
+		}
+		if _, opts, err := q.Normalize(); err == nil {
+			ks[i] = opts.K
+		}
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		server.WriteError(w, http.StatusInternalServerError, "internal", "re-encoding batch: "+err.Error())
+		return
+	}
+	// The shard-side envelope ceiling is queue wait + MaxTimeout (its waves
+	// of searches run serially under that deadline); the router's call budget
+	// is that ceiling plus slack.
+	budget := rt.cfg.MaxQueueWait + rt.cfg.MaxTimeout + shardBudgetSlack
+	results := rt.fanout(r.Context(), "/v1/query:batch", body, reqID, budget)
+
+	var oks []shardBatch
+	var failed []shardResult
+	for _, sr := range results {
+		if sr.err == nil && sr.status == http.StatusOK {
+			var br server.BatchResponse
+			if err := json.Unmarshal(sr.body, &br); err == nil && len(br.Results) == len(req.Queries) {
+				oks = append(oks, shardBatch{index: sr.index, resp: br})
+				continue
+			}
+			failed = append(failed, shardResult{index: sr.index, err: fmt.Errorf("undecodable shard batch response")})
+			continue
+		}
+		if sr.deterministic() {
+			var eb server.ErrorBody
+			if json.Unmarshal(sr.body, &eb) == nil && eb.Error.Code != "" {
+				// Envelope-level validation error every shard agrees on;
+				// the items never ran anywhere.
+				rt.met.errored.Add(uint64(len(req.Queries)))
+				server.WriteJSON(w, sr.status, &eb)
+				return
+			}
+		}
+		failed = append(failed, sr)
+	}
+	if len(oks) == 0 {
+		out := rt.allShardsFailed(r.Context(), failed, "", true)
+		rt.countItemOutcome(out.errBody.Error.Code, len(req.Queries))
+		server.WriteJSON(w, out.status, out.errBody)
+		return
+	}
+
+	missing := make([]string, 0, len(failed))
+	for _, f := range failed {
+		missing = append(missing, shardName(f.index))
+	}
+	out := server.BatchResponse{Results: make([]server.BatchItemJSON, len(req.Queries))}
+	for i := range req.Queries {
+		out.Results[i] = rt.mergeBatchItem(oks, i, ks[i], missing)
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// deterministicItemCode reports whether a per-item error code is a property
+// of the query (identical on every shard) rather than of one shard's health
+// or load at that moment.
+func deterministicItemCode(code string) bool {
+	switch code {
+	case "bad_request", "unknown_entity", "query_failed", "batch_too_large":
+		return true
+	}
+	return false
+}
+
+// shardBatch is one shard's decoded batch response.
+type shardBatch struct {
+	index int
+	resp  server.BatchResponse
+}
+
+// mergeBatchItem merges item i across the responding shards. Shards whose
+// envelope failed — or whose copy of this item failed transiently (shed,
+// timed out, internal) while another shard's succeeded — are the item's
+// missing shards; the merge over the rest is returned partial.
+func (rt *Router) mergeBatchItem(oks []shardBatch, i, k int, envelopeMissing []string) server.BatchItemJSON {
+	var itemOks []*server.QueryResponse
+	var detErr *server.ErrorDetail
+	var transientErr *server.ErrorDetail
+	missing := append([]string(nil), envelopeMissing...)
+	for _, sb := range oks {
+		it := sb.resp.Results[i]
+		if it.Result != nil {
+			itemOks = append(itemOks, it.Result)
+			continue
+		}
+		if it.Error == nil {
+			// A shard item with neither result nor error is malformed;
+			// treat the shard as missing for this item.
+			missing = append(missing, shardName(sb.index))
+			continue
+		}
+		if deterministicItemCode(it.Error.Code) {
+			if detErr == nil {
+				detErr = it.Error
+			}
+			continue
+		}
+		if transientErr == nil {
+			transientErr = it.Error
+		}
+		missing = append(missing, shardName(sb.index))
+	}
+	if detErr != nil {
+		rt.countItemOutcome(detErr.Code, 1)
+		return server.BatchItemJSON{Error: detErr}
+	}
+	if len(itemOks) == 0 {
+		if transientErr != nil {
+			rt.countItemOutcome(transientErr.Code, 1)
+			return server.BatchItemJSON{Error: transientErr}
+		}
+		rt.countItemOutcome("shard_unavailable", 1)
+		return server.BatchItemJSON{Error: &server.ErrorDetail{
+			Code:    "shard_unavailable",
+			Message: "no shard answered this item",
+		}}
+	}
+	merged := rt.mergeResponses(itemOks, k)
+	// Deduped is a trajectory fact of the envelope's item list — identical
+	// on every shard — so the lowest-index shard's flag is the fleet's.
+	merged.Deduped = itemOks[0].Deduped
+	if len(missing) > 0 {
+		merged.Partial = true
+		merged.Missing = missing
+		rt.met.partial.Add(1)
+	}
+	rt.met.served.Add(1)
+	return server.BatchItemJSON{Result: merged}
+}
+
+// countItemOutcome lands n batch items in the outcome counter their error
+// code belongs to, mirroring writeOutcome's classification.
+func (rt *Router) countItemOutcome(code string, n int) {
+	var c *atomic.Uint64
+	switch code {
+	case "overloaded":
+		c = &rt.met.rejected
+	case "timeout":
+		c = &rt.met.timeouts
+	case "canceled":
+		c = &rt.met.canceled
+	default:
+		c = &rt.met.errored
+	}
+	c.Add(uint64(n))
+}

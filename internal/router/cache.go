@@ -1,0 +1,176 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gqbe/internal/server"
+)
+
+// respCache is the router's merged-result cache: the same sharded-LRU design
+// as the daemon's result cache (FNV-1a shard selection for cache-key
+// affinity, per-shard locks, exact capacity split), typed to merged wire
+// responses instead of engine results. Only FULL merges are admitted —
+// partial merges are never cached (see mergeQuery) — so a hit always
+// reproduces the single-node ranking.
+//
+// Entries past softTTL stop satisfying get (the query re-scatters) but are
+// retained for getStale, which backs Config.StaleServe when the whole fleet
+// is down.
+type respCache struct {
+	shards  []*respCacheShard
+	softTTL time.Duration // <= 0: entries never go stale
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type respCacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+}
+
+type respEntry struct {
+	key  string
+	resp *server.QueryResponse
+	at   time.Time
+}
+
+// newRespCache builds a cache with the given total entry capacity split
+// across shardCount independently locked shards (remainder spread one entry
+// at a time, so capacities sum exactly). Negative entries disables caching:
+// the returned nil cache is safe to call (every lookup misses).
+func newRespCache(entries, shardCount int, softTTL time.Duration) *respCache {
+	if entries < 0 {
+		return nil
+	}
+	if entries == 0 {
+		entries = 1024
+	}
+	if shardCount <= 0 {
+		shardCount = 16
+	}
+	if shardCount > entries {
+		shardCount = 1
+	}
+	c := &respCache{softTTL: softTTL}
+	base, rem := entries/shardCount, entries%shardCount
+	for i := 0; i < shardCount; i++ {
+		capacity := base
+		if i < rem {
+			capacity++
+		}
+		c.shards = append(c.shards, &respCacheShard{
+			capacity: capacity,
+			ll:       list.New(),
+			m:        make(map[string]*list.Element),
+		})
+	}
+	return c
+}
+
+// shardFor selects the key's cache shard by FNV-1a — the consistent hash that
+// gives identical keys identical shard affinity across lookups.
+func (c *respCache) shardFor(key string) *respCacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// get returns the fresh entry for key, promoting it; entries past softTTL
+// miss (but stay resident for getStale).
+func (c *respCache) get(key string) (*server.QueryResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*respEntry)
+	if c.softTTL > 0 && time.Since(e.at) > c.softTTL {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return e.resp, true
+}
+
+// getStale returns the entry for key regardless of freshness, with its age,
+// promoting it (a stale-served entry is in active use; evicting it while the
+// fleet is down would convert degraded service into errors).
+func (c *respCache) getStale(key string) (*server.QueryResponse, time.Duration, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[key]
+	if !ok {
+		return nil, 0, false
+	}
+	sh.ll.MoveToFront(el)
+	e := el.Value.(*respEntry)
+	return e.resp, time.Since(e.at), true
+}
+
+// put inserts or refreshes key, evicting the shard's LRU entry past
+// capacity. The stored response must not be mutated afterwards (hits share
+// it; writers serve shallow copies with their own flags).
+func (c *respCache) put(key string, resp *server.QueryResponse) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[key]; ok {
+		e := el.Value.(*respEntry)
+		e.resp, e.at = resp, time.Now()
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.m[key] = sh.ll.PushFront(&respEntry{key: key, resp: resp, at: time.Now()})
+	if sh.ll.Len() > sh.capacity {
+		last := sh.ll.Back()
+		sh.ll.Remove(last)
+		delete(sh.m, last.Value.(*respEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *respCache) counters() (hits, misses, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+func (c *respCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+package router
+
+import "sync"
+
+// flight is one in-progress scatter-gather shared by every concurrent
+// identical query: the leader runs the fan-out, followers wait on done and
+// read out. out is published before done closes (channel-close barrier), so
+// followers never observe a nil outcome.
+type flight struct {
+	done chan struct{}
+	out  *queryOutcome
+}
+
+// flightGroup coalesces concurrent identical queries onto one shard fan-out —
+// the daemon's singleflight design reduced to what the router needs: join
+// (become leader or follower) and finish (publish and retire the key).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the live flight for key, creating it (leader=true) when none
+// exists.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and wakes the followers. The key is
+// retired from the map BEFORE done closes, so a request arriving after the
+// close always starts a fresh flight rather than joining a finished one.
+func (g *flightGroup) finish(key string, f *flight, out *queryOutcome) {
+	f.out = out
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+}

@@ -130,7 +130,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
-	reqID := s.nextRequestID()
+	reqID := s.requestID(r)
 	w.Header().Set("X-Request-ID", reqID)
 	start := time.Now()
 	defer func() { s.met.totalLat.Observe(time.Since(start)) }()

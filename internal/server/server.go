@@ -392,6 +392,37 @@ func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("%s-%06d", s.idBase, s.reqSeq.Add(1))
 }
 
+// requestID resolves the request's ID: a valid inbound X-Request-ID header is
+// adopted (so a fleet router's ID survives the router→shard hop and the
+// shard's logs and explain traces correlate with the router's), anything else
+// gets a freshly minted one. The header is untrusted input, hence the
+// sanitizer: IDs land verbatim in log records and response headers.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
+		return id
+	}
+	return s.nextRequestID()
+}
+
+// validRequestID bounds adopted request IDs to 1..64 bytes of
+// [A-Za-z0-9._-]: enough for UUIDs and the daemon's own host-seq format,
+// nothing that can split a log line or smuggle header bytes.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // newTracer returns a tracer when the observability config wants one for
 // ordinary queries (tracing on, or a slow-query threshold to attribute), and
 // nil — the zero-cost disabled state — otherwise.
@@ -477,6 +508,11 @@ type queryRequest struct {
 type answerJSON struct {
 	Entities []string `json:"entities"`
 	Score    float64  `json:"score"`
+	// Tie is the answer's deterministic tie-break key (gqbe.Answer.Key).
+	// Equal-score answers are ordered by it, so a scatter-gather router can
+	// re-merge per-shard rankings under (score desc, tie asc) and reproduce
+	// the single-node order exactly — scores alone cannot order ties.
+	Tie string `json:"tie,omitempty"`
 }
 
 // statsJSON mirrors gqbe.Stats with wire-friendly units.
@@ -510,6 +546,13 @@ type queryResponse struct {
 	// candidate list and evaluation budget): correct as far as it goes, but
 	// possibly missing answers a full search would have ranked.
 	BrownedOut bool `json:"browned_out,omitempty"`
+	// Partial marks a fleet answer merged without every shard: the listed
+	// shards failed or timed out, so answers they own are absent from the
+	// ranking. Single-node servers never set these; only the router
+	// (internal/router) does, and it returns such answers as 200s — a
+	// degraded ranking is an answer, not an error.
+	Partial bool     `json:"partial,omitempty"`
+	Missing []string `json:"missing_shards,omitempty"`
 }
 
 // Request-validation sentinels. normalize's errors cross the server
@@ -634,7 +677,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
-	reqID := s.nextRequestID()
+	reqID := s.requestID(r)
 	w.Header().Set("X-Request-ID", reqID)
 	start := time.Now()
 	defer func() { s.met.totalLat.Observe(time.Since(start)) }()
@@ -1188,7 +1231,7 @@ func toStatsJSON(res *gqbe.Result) statsJSON {
 func toAnswersJSON(res *gqbe.Result) []answerJSON {
 	out := make([]answerJSON, 0, len(res.Answers))
 	for _, a := range res.Answers {
-		out = append(out, answerJSON{Entities: a.Entities, Score: a.Score})
+		out = append(out, answerJSON{Entities: a.Entities, Score: a.Score, Tie: a.Key})
 	}
 	return out
 }
@@ -1270,5 +1313,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}, statzSearch{
 		Workers: s.cfg.SearchWorkers,
 	}, fault.Injected(), eg.gen)
+	if index, count := eg.eng.Shard(); count > 1 {
+		snap.Shard = &statzShard{Index: index, Count: count}
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
